@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper table/figure from the shared (disk-
+cached) suite sweep and saves the rendered text under
+``benchmarks/results/``.  Suite size is controlled by ``REPRO_SUITE``:
+
+* ``quick``    — first 16 standard matrices (smoke runs),
+* ``standard`` — the 39-matrix cross-family subset (default),
+* ``full``     — all 110 matrices (the paper-scale sweep; minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, sweep_suite
+from repro.matrices import suite_names
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The Table-1 presentation order used by every figure.
+REORDER_ORDER = ["shuffled", "rabbit", "amd", "rcm", "nd", "gp", "hp", "gray", "degree", "slashburn"]
+
+
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+def bench_suite() -> list[str]:
+    mode = os.environ.get("REPRO_SUITE", "standard")
+    if mode == "quick":
+        return suite_names("standard")[:16]
+    if mode in ("standard", "full"):
+        return suite_names(mode)
+    raise ValueError(f"REPRO_SUITE must be quick/standard/full, got {mode!r}")
+
+
+def shared_sweeps():
+    """The one suite sweep all figure/table benches share (disk-cached)."""
+    return sweep_suite(bench_suite(), bench_config())
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print()
+    print(text)
+
+
+def speedups_by_algo(sweeps, variant: str, algos=None) -> dict[str, list[float]]:
+    """Aligned per-matrix speedup lists for one SpGEMM variant."""
+    algos = algos or REORDER_ORDER
+    return {a: [s.speedup(variant, a) for s in sweeps] for a in algos}

@@ -1,0 +1,49 @@
+"""Paper Fig. 10 — performance profile of reordering overhead.
+
+For every algorithm, over the problems it *improves*: the fraction
+amortising its preprocessing within x SpGEMM runs (x ≤ 20).  HP is
+excluded, exactly as in the paper ("excludes HP due to its significantly
+higher overhead").
+
+Expected shape (paper): cheap orderings (Shuffled/Rabbit/Degree)
+amortise within ~5 runs; RCM/GP need ≥20 runs on about half their wins;
+hierarchical clustering amortises within 20 runs on ~90% of its wins.
+"""
+
+from repro.analysis import amortization_profile, render_profile
+from repro.matrices import get_matrix
+from repro.reordering import reorder
+
+from _common import REORDER_ORDER, save_result, shared_sweeps
+
+
+def test_fig10_amortization_profile(benchmark):
+    sweeps = shared_sweeps()
+    profiles = {}
+    algos = [a for a in REORDER_ORDER if a != "hp"]  # paper excludes HP here
+    for a in algos:
+        iters = [s.rowwise[a].amortization_iterations(s.baseline_time) for s in sweeps]
+        profiles[a] = amortization_profile(iters, max_x=20.0)
+    hier_iters = [
+        s.hierarchical.amortization_iterations(s.baseline_time) for s in sweeps if s.hierarchical
+    ]
+    profiles["hierarchical"] = amortization_profile(hier_iters, max_x=20.0)
+
+    text = render_profile(
+        "Figure 10: fraction of improved problems amortising preprocessing within x SpGEMM runs",
+        profiles,
+        xs=[1, 2, 5, 10, 20],
+    )
+    save_result("fig10_amortization.txt", text)
+
+    # Paper shape: hierarchical amortises within 20 runs for most wins;
+    # cheap shuffles amortise almost immediately when they help at all.
+    assert profiles["hierarchical"].fraction_at(20.0) > 0.6
+    if profiles["shuffled"].n_problems:
+        assert profiles["shuffled"].fraction_at(5.0) > 0.5
+    # GP is slower to amortise than hierarchical clustering.
+    assert profiles["gp"].fraction_at(5.0) <= profiles["hierarchical"].fraction_at(5.0) + 0.25
+
+    # Wall-clock: RCM (the classic cheap-but-effective reordering).
+    A = get_matrix("M6")
+    benchmark.pedantic(reorder, args=(A, "rcm"), rounds=3, iterations=1)

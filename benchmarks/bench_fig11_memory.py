@@ -1,0 +1,44 @@
+"""Paper Fig. 11 — memory overhead of cluster-wise SpGEMM.
+
+CDF over the suite of ``CSR_Cluster bytes / CSR bytes`` for fixed,
+variable and hierarchical clustering.
+
+Expected shape (paper): variable-length is the most frugal, fixed-length
+the heaviest (padding), hierarchical in between; a sizeable fraction of
+problems sit *below* 1× because CSR_Cluster shares column indices across
+a cluster's rows.
+"""
+
+import numpy as np
+
+from repro.analysis import ratio_profile, render_profile
+from repro.clustering import variable_length_clustering
+from repro.core import CSRCluster
+from repro.matrices import get_matrix
+
+from _common import save_result, shared_sweeps
+
+
+def test_fig11_memory_overhead(benchmark):
+    sweeps = shared_sweeps()
+    profiles = {}
+    for method in ("fixed", "variable", "hierarchical"):
+        ratios = [s.memory_ratio[method] for s in sweeps if method in s.memory_ratio]
+        profiles[method] = ratio_profile(ratios, max_x=5.0)
+    text = render_profile(
+        "Figure 11: fraction of problems with cluster-format memory ≤ x× the CSR footprint",
+        profiles,
+        xs=[0.75, 1.0, 1.5, 2.0, 3.0, 5.0],
+    )
+    save_result("fig11_memory.txt", text)
+
+    # Paper shape: variable ≤ hierarchical ≤ fixed at every budget.
+    for x in (1.0, 1.5, 2.0):
+        assert profiles["variable"].fraction_at(x) >= profiles["fixed"].fraction_at(x) - 1e-9
+    # Most problems stay under 2× for variable-length (paper: >80%).
+    assert profiles["variable"].fraction_at(2.0) > 0.8
+
+    # Wall-clock: CSR_Cluster construction.
+    A = get_matrix("pdb1")
+    clusters = variable_length_clustering(A).clusters
+    benchmark(CSRCluster.from_clusters, A, clusters)

@@ -1,0 +1,42 @@
+"""Paper Fig. 8 — the three cluster-wise methods on 10 representative
+datasets (cage12, poi3D, conf5, pdb1, rma10, wb, AS365, huget, M6, NLR),
+relative to row-wise SpGEMM on the original order.
+
+Expected shape (paper): hierarchical improves all 10 (up to 1.70×);
+fixed/variable help on the well-structured half (pdb1, rma10, conf5)
+and sit near/below 1 elsewhere.
+"""
+
+from repro.analysis import render_dataset_bars
+from repro.clustering import hierarchical_clustering
+from repro.experiments import ExperimentConfig, cached_matrix_sweep
+from repro.matrices import REPRESENTATIVE, get_matrix
+
+from _common import save_result
+
+
+def test_fig8_clustering_on_representative(benchmark):
+    cfg = ExperimentConfig()
+    series = {"fixed": [], "variable": [], "hierarchical": []}
+    for name in REPRESENTATIVE:
+        s = cached_matrix_sweep(name, cfg)
+        series["fixed"].append(s.speedup("fixed", "original"))
+        series["variable"].append(s.speedup("variable", "original"))
+        series["hierarchical"].append(s.baseline_time / s.hierarchical.time)
+    text = render_dataset_bars(
+        "Figure 8: cluster-wise SpGEMM speedup on representative datasets (vs row-wise original)",
+        REPRESENTATIVE,
+        series,
+    )
+    save_result("fig8_representative.txt", text)
+
+    # Paper shape: hierarchical is the most consistent winner.
+    wins = sum(1 for v in series["hierarchical"] if v > 1.0)
+    assert wins >= 7, series["hierarchical"]
+    # pdb1 (dense blocks) benefits from all three methods.
+    i_pdb1 = REPRESENTATIVE.index("pdb1")
+    assert series["fixed"][i_pdb1] > 1.0 and series["variable"][i_pdb1] > 1.0
+
+    # Wall-clock: hierarchical clustering construction (paper Alg. 3).
+    A = get_matrix("pdb1")
+    benchmark(hierarchical_clustering, A)

@@ -1,0 +1,49 @@
+"""Paper Table 4 — hierarchical cluster-wise SpGEMM per BC frontier
+iteration (i1..i10) on the tall-skinny datasets, relative to row-wise.
+
+Expected shape (paper): clustering A once pays off across the frontier
+sequence; mesh/road datasets (AS365, GAP-road, M6, europe_osm) sustain
+speedups across all 10 iterations, while power-law datasets hover
+around 1.
+"""
+
+import numpy as np
+
+from repro.analysis import render_matrix_table
+from repro.clustering import hierarchical_clustering
+from repro.core import cluster_spgemm
+from repro.experiments import ExperimentConfig, cached_tallskinny_sweep
+from repro.matrices import TALLSKINNY, get_matrix
+from repro.workloads import bc_frontiers
+
+from _common import save_result
+
+DEPTH = 10
+
+
+def test_table4_hierarchical_bc_iterations(benchmark):
+    cfg = ExperimentConfig()
+    grid = np.full((len(TALLSKINNY), DEPTH), np.nan)
+    for i, name in enumerate(TALLSKINNY):
+        res = cached_tallskinny_sweep(name, cfg)
+        vals = res.hierarchical_speedup[:DEPTH]
+        grid[i, : len(vals)] = vals
+    text = render_matrix_table(
+        "Table 4: hierarchical cluster-wise speedup per BC frontier iteration (vs row-wise)",
+        TALLSKINNY,
+        [f"i{k}" for k in range(1, DEPTH + 1)],
+        grid,
+        mean_col=True,
+    )
+    save_result("table4_bc_iterations.txt", text)
+
+    # Paper shape: the structured datasets sustain mean speedup > 1.
+    means = {TALLSKINNY[i]: float(np.nanmean(grid[i])) for i in range(len(TALLSKINNY))}
+    winners = [d for d in ("AS365", "M6", "GAP-road", "europe_osm") if means[d] > 1.0]
+    assert len(winners) >= 3, means
+
+    # Wall-clock: one cluster-wise frontier multiplication.
+    A = get_matrix("AS365")
+    Ac = hierarchical_clustering(A).to_csr_cluster(A)
+    F = bc_frontiers(A, batch=16, depth=1).frontiers[0]
+    benchmark(cluster_spgemm, Ac, F)

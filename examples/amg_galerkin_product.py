@@ -1,0 +1,57 @@
+"""AMG-style Galerkin triple product — a numerical SpGEMM application.
+
+Algebraic multigrid (the paper cites it as a core SpGEMM consumer [9])
+builds each coarse-grid operator as ``A_c = R · A · P`` with sparse
+``R = Pᵀ``.  Both multiplications are SpGEMMs with rectangular operands;
+this example builds a 2-D Poisson problem, a piecewise-constant
+aggregation prolongator, forms the hierarchy with our kernels, and
+verifies the product against scipy.
+
+Run:  python examples/amg_galerkin_product.py
+"""
+
+import numpy as np
+
+from repro.core import COOMatrix, CSRMatrix, SpGEMMStats, spgemm_rowwise
+from repro.matrices import generators as G
+
+
+def aggregation_prolongator(n: int, aggregate_size: int) -> CSRMatrix:
+    """Piecewise-constant prolongator: fine point i → aggregate i // s."""
+    ncoarse = -(-n // aggregate_size)
+    rows = np.arange(n, dtype=np.int64)
+    cols = rows // aggregate_size
+    vals = np.ones(n)
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, vals, (n, ncoarse)))
+
+
+def main() -> None:
+    A = G.grid2d(48, 48, stencil=5, seed=0)
+    n = A.nrows
+    print(f"fine operator: n={n}, nnz={A.nnz}")
+
+    level = 0
+    while A.nrows > 64:
+        P = aggregation_prolongator(A.nrows, 4)
+        R = P.transpose()
+        stats_ap = SpGEMMStats()
+        AP = spgemm_rowwise(A, P, stats=stats_ap)
+        stats_rap = SpGEMMStats()
+        A_c = spgemm_rowwise(R, AP, stats=stats_rap)
+
+        # Oracle check via scipy.
+        ref = CSRMatrix.from_scipy((R.to_scipy() @ A.to_scipy() @ P.to_scipy()).tocsr())
+        assert A_c.allclose(ref), "Galerkin product mismatch"
+
+        level += 1
+        print(
+            f"level {level}: {A.nrows:>5} -> {A_c.nrows:>5} rows, nnz {A.nnz:>6} -> {A_c.nnz:>6}, "
+            f"SpGEMM flops {stats_ap.flops + stats_rap.flops:,}"
+        )
+        A = A_c
+
+    print("coarsest operator dense enough for a direct solve — hierarchy complete ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Auto-tuning with the configuration predictor (paper §5 future work).
+
+The paper's conclusion names, as future work, "using machine learning to
+predict the best choice of reordering combined with the best clustering
+scheme".  This example runs that pipeline:
+
+1. sweep a training set of suite matrices (results are disk-cached),
+2. fit the k-NN :class:`ConfigurationPredictor` on structural features,
+3. predict configurations for held-out matrices and compare the
+   predicted configuration's speedup with the oracle best.
+
+Run:  python examples/autotune_predictor.py
+"""
+
+from repro.analysis import ConfigurationPredictor
+from repro.experiments import ExperimentConfig, cached_matrix_sweep
+from repro.matrices import get_matrix
+
+TRAIN = [
+    "grid2d_5pt_1", "grid2d_scr_0", "trimesh_1", "trimesh_scr_1",
+    "banded_1", "banded_scr_0", "blockdiag_1", "blockdiag_scr_0",
+    "web_1", "web_scr_0", "road_1", "road_scr_0", "rmat_1", "er_1",
+]
+TEST = ["M6", "pdb1", "GAP-road", "cage12", "wb"]
+
+
+def main() -> None:
+    cfg = ExperimentConfig()
+    print(f"sweeping {len(TRAIN)} training matrices (cached)…")
+    train_mats = [get_matrix(n) for n in TRAIN]
+    train_sweeps = [cached_matrix_sweep(n, cfg) for n in TRAIN]
+
+    pred = ConfigurationPredictor(k=3).fit(train_mats, train_sweeps)
+
+    print(f"\n{'matrix':<10} {'predicted config':<26} {'achieved':>9} {'oracle':>9}")
+    for name in TEST:
+        A = get_matrix(name)
+        sweep = cached_matrix_sweep(name, cfg)
+        (algo, variant), voters = pred.predict_detail(A)
+        if variant == "cluster":
+            achieved = sweep.baseline_time / sweep.hierarchical.time
+        else:
+            achieved = sweep.speedup(variant, algo)
+        _, oracle = ConfigurationPredictor.best_configuration(sweep)
+        print(f"{name:<10} {algo + ' + ' + variant:<26} {achieved:>8.2f}x {oracle:>8.2f}x")
+
+
+if __name__ == "__main__":
+    main()

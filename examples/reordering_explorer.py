@@ -1,0 +1,47 @@
+"""Reordering explorer — run the paper's 10 reorderings on any suite
+matrix and compare row-wise / fixed / variable / hierarchical SpGEMM.
+
+Usage:
+    python examples/reordering_explorer.py [matrix_name]
+
+``matrix_name`` is any of the 110 suite entries (default: ``M6``);
+list them with ``python -c "from repro.matrices import suite_names;
+print(suite_names('full'))"``.
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, run_matrix_sweep
+from repro.matrices import SUITE, get_matrix
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "M6"
+    if name not in SUITE:
+        raise SystemExit(f"unknown matrix {name!r}; choose one of the 110 suite entries")
+    entry = SUITE[name]
+    A = get_matrix(name)
+    print(f"matrix {name}  (family={entry.family}, scrambled={entry.scrambled}, "
+          f"analog of: {entry.analog_of or '—'})")
+    print(f"n={A.nrows}, nnz={A.nnz}")
+
+    cfg = ExperimentConfig()
+    sweep = run_matrix_sweep(name, cfg)
+
+    print(f"\n{'ordering':<12} {'row-wise':>9} {'fixed':>9} {'variable':>9} {'pre (xSpGEMM)':>14}")
+    for algo in ["original"] + list(cfg.reorderings):
+        pre = sweep.rowwise[algo].pre_time / sweep.baseline_time if algo != "original" else 0.0
+        print(
+            f"{algo:<12} {sweep.speedup('rowwise', algo):>9.2f} "
+            f"{sweep.speedup('fixed', algo):>9.2f} {sweep.speedup('variable', algo):>9.2f} "
+            f"{pre:>14.1f}"
+        )
+    h = sweep.baseline_time / sweep.hierarchical.time
+    h_pre = sweep.hierarchical.pre_time / sweep.baseline_time
+    print(f"{'hierarch.':<12} {'—':>9} {'—':>9} {h:>9.2f} {h_pre:>14.1f}")
+    print("\nmemory (CSR_Cluster / CSR):",
+          {k: round(v, 2) for k, v in sweep.memory_ratio.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e .` / `setup.py develop` on
+environments whose pip cannot build PEP-517 editable wheels offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — reproduction of *Improving SpGEMM Performance Through Matrix
+Reordering and Cluster-wise Computation* (Islam, Xu, Dai, Buluç; SC 2025,
+arXiv:2507.21253).
+
+The package is organised bottom-up (see DESIGN.md):
+
+* :mod:`repro.core` — CSR / CSR_Cluster formats and SpGEMM kernels.
+* :mod:`repro.clustering` — fixed, variable and hierarchical clustering.
+* :mod:`repro.reordering` — the 10 reordering algorithms of Table 1.
+* :mod:`repro.machine` — cache/cost model and simulated parallel machine.
+* :mod:`repro.matrices` — synthetic SuiteSparse-analog suite + MM I/O.
+* :mod:`repro.workloads` — A² and tall-skinny (BC frontier) workloads.
+* :mod:`repro.analysis` — metrics, performance profiles, table renderers.
+* :mod:`repro.experiments` — sweep orchestration for every table/figure.
+"""
+
+from .core import (
+    COOMatrix,
+    CSRCluster,
+    CSRMatrix,
+    cluster_spgemm,
+    spgemm_rowwise,
+    spgemm_topk_similarity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSRCluster",
+    "spgemm_rowwise",
+    "cluster_spgemm",
+    "spgemm_topk_similarity",
+    "__version__",
+]

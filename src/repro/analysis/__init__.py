@@ -1,0 +1,39 @@
+"""Evaluation metrics, cumulative profiles and paper-style table renderers."""
+
+from .metrics import (
+    SpeedupSummary,
+    best_of,
+    geomean,
+    positive_fraction,
+    positive_geomean,
+    summarize_speedups,
+)
+from .predictor import FEATURE_NAMES, ConfigurationPredictor, matrix_features
+from .profiles import Profile, amortization_profile, ratio_profile
+from .tables import (
+    render_box_figure,
+    render_dataset_bars,
+    render_matrix_table,
+    render_profile,
+    render_table2,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "ConfigurationPredictor",
+    "matrix_features",
+    "geomean",
+    "positive_fraction",
+    "positive_geomean",
+    "summarize_speedups",
+    "SpeedupSummary",
+    "best_of",
+    "Profile",
+    "amortization_profile",
+    "ratio_profile",
+    "render_box_figure",
+    "render_table2",
+    "render_dataset_bars",
+    "render_profile",
+    "render_matrix_table",
+]

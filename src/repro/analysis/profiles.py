@@ -1,0 +1,62 @@
+"""Performance profiles and CDFs (paper Figs. 10 and 11).
+
+* Fig. 10 plots, for each reordering, the fraction of (improved) problems
+  whose preprocessing cost is amortised within ``x`` SpGEMM runs.
+* Fig. 11 plots the fraction of problems whose cluster-format memory is
+  within ``x×`` of the row-wise (CSR) footprint.
+
+Both are cumulative profiles over a per-problem scalar; this module
+computes the curves on a fixed grid so benches can print aligned series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Profile", "amortization_profile", "ratio_profile"]
+
+
+@dataclass
+class Profile:
+    """A cumulative profile: ``fraction(x) = P[value ≤ x]``."""
+
+    xs: np.ndarray
+    fractions: np.ndarray
+    n_problems: int
+
+    def fraction_at(self, x: float) -> float:
+        """Fraction of problems with value ≤ x."""
+        if self.n_problems == 0:
+            return float("nan")
+        return float(np.interp(x, self.xs, self.fractions))
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self.xs.tolist(), self.fractions.tolist()))
+
+
+def _cdf(values: np.ndarray, xs: np.ndarray, denominator: int) -> Profile:
+    if denominator == 0:
+        return Profile(xs, np.full(xs.size, np.nan), 0)
+    fr = np.array([(values <= x).sum() / denominator for x in xs], dtype=np.float64)
+    return Profile(xs, fr, denominator)
+
+
+def amortization_profile(iterations: list[float], *, max_x: float = 20.0, points: int = 41) -> Profile:
+    """Fig.-10-style profile over per-problem amortisation iteration counts.
+
+    Mirrors the paper: only problems where the optimisation *improves*
+    performance participate (``inf`` entries — no improvement — are
+    excluded from the population, as the paper's caption states).
+    """
+    vals = np.asarray([v for v in iterations if np.isfinite(v)], dtype=np.float64)
+    xs = np.linspace(0.0, max_x, points)
+    return _cdf(vals, xs, vals.size)
+
+
+def ratio_profile(ratios: list[float], *, max_x: float = 5.0, points: int = 51) -> Profile:
+    """Fig.-11-style profile over memory ratios (cluster / CSR bytes)."""
+    vals = np.asarray([v for v in ratios if np.isfinite(v)], dtype=np.float64)
+    xs = np.linspace(0.0, max_x, points)
+    return _cdf(vals, xs, vals.size)

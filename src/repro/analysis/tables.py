@@ -1,0 +1,109 @@
+"""ASCII renderers mirroring the paper's tables and figures.
+
+Every bench prints through these so the output rows line up with what the
+paper reports (and EXPERIMENTS.md can quote them verbatim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import SpeedupSummary, summarize_speedups
+from .profiles import Profile
+
+__all__ = [
+    "render_box_figure",
+    "render_table2",
+    "render_dataset_bars",
+    "render_profile",
+    "render_matrix_table",
+]
+
+
+def _fmt(x: float, width: int = 6, prec: int = 2) -> str:
+    if x is None or (isinstance(x, float) and np.isnan(x)):
+        return " " * (width - 3) + "n/a"
+    return f"{x:{width}.{prec}f}"
+
+
+def render_box_figure(title: str, boxes: dict[str, SpeedupSummary]) -> str:
+    """Fig. 2/3-style distribution table: one row per algorithm with the
+    five-number summary + GM (the textual equivalent of the box plot)."""
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'algorithm':<16} {'min':>6} {'q1':>6} {'median':>6} {'q3':>6} {'max':>7} {'GM':>6} {'Pos.%':>6} {'n':>4}")
+    for name, s in boxes.items():
+        lines.append(
+            f"{name:<16} {_fmt(s.minimum)} {_fmt(s.q1)} {_fmt(s.median)} {_fmt(s.q3)} {_fmt(s.maximum, 7)} "
+            f"{_fmt(s.gm)} {_fmt(100 * s.pos_pct)} {s.count:>4d}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(
+    rows: dict[str, dict[str, list[float]]],
+    *,
+    variants: tuple[str, ...] = ("rowwise", "fixed", "variable"),
+    title: str = "Table 2: SpGEMM speedup through reordering (GM / Pos.% / +GM)",
+) -> str:
+    """Paper Table 2: per reordering × SpGEMM variant, GM / Pos.% / +GM.
+
+    ``rows[reordering][variant]`` is the per-matrix speedup list.
+    """
+    header = f"{'Algorithm':<14}"
+    for v in variants:
+        header += f" | {v + ' GM':>10} {'Pos.%':>6} {'+GM':>6}"
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for name, per_variant in rows.items():
+        line = f"{name:<14}"
+        for v in variants:
+            s = summarize_speedups(per_variant.get(v, []))
+            line += f" | {_fmt(s.gm, 10)} {_fmt(100 * s.pos_pct)} {_fmt(s.pos_gm)}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_dataset_bars(title: str, datasets: list[str], series: dict[str, list[float]]) -> str:
+    """Fig. 8/9-style per-dataset grouped bars (one column per dataset)."""
+    width = max(8, max((len(d) for d in datasets), default=8) + 1)
+    lines = [title, "-" * len(title)]
+    header = f"{'method':<16}" + "".join(f"{d[:width - 1]:>{width}}" for d in datasets)
+    lines.append(header)
+    for name, vals in series.items():
+        lines.append(f"{name:<16}" + "".join(f"{_fmt(v, width)}" for v in vals))
+    return "\n".join(lines)
+
+
+def render_profile(title: str, profiles: dict[str, Profile], *, xs: list[float] | None = None) -> str:
+    """Fig. 10/11-style cumulative profiles sampled on shared x points."""
+    lines = [title, "-" * len(title)]
+    any_profile = next(iter(profiles.values()))
+    sample_xs = xs if xs is not None else np.linspace(any_profile.xs[0], any_profile.xs[-1], 6).tolist()
+    header = f"{'algorithm':<16}" + "".join(f"{'x=' + format(x, '.3g'):>9}" for x in sample_xs)
+    lines.append(header)
+    for name, p in profiles.items():
+        lines.append(f"{name:<16}" + "".join(f"{_fmt(p.fraction_at(x), 9)}" for x in sample_xs))
+    return "\n".join(lines)
+
+
+def render_matrix_table(
+    title: str,
+    row_names: list[str],
+    col_names: list[str],
+    values: np.ndarray,
+    *,
+    mean_col: bool = False,
+) -> str:
+    """Table 3/4-style dataset × algorithm (or iteration) speedup grid."""
+    values = np.asarray(values, dtype=np.float64)
+    lines = [title, "-" * len(title)]
+    width = 7
+    header = f"{'dataset':<22}" + "".join(f"{c[:width - 1]:>{width}}" for c in col_names)
+    if mean_col:
+        header += f"{'Mean':>{width}}"
+    lines.append(header)
+    for i, rn in enumerate(row_names):
+        row = f"{rn[:21]:<22}" + "".join(f"{_fmt(v, width)}" for v in values[i])
+        if mean_col:
+            row += f"{_fmt(float(np.nanmean(values[i])), width)}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Clustering strategies of the paper (§3): fixed-length, variable-length
+(Alg. 2) and hierarchical (Alg. 3)."""
+
+from .base import Clustering, clustering_stats
+from .fixed import fixed_length_clustering
+from .hierarchical import hierarchical_clustering
+from .unionfind import UnionFind
+from .variable import jaccard_sorted, variable_length_clustering
+
+__all__ = [
+    "Clustering",
+    "clustering_stats",
+    "UnionFind",
+    "fixed_length_clustering",
+    "variable_length_clustering",
+    "hierarchical_clustering",
+    "jaccard_sorted",
+]

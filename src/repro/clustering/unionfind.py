@@ -1,0 +1,75 @@
+"""Union-find (disjoint-set) with cluster-size caps.
+
+Paper Alg. 3 merges similar rows with ``Union``/``Find`` while the paper's
+``max_cluster_th`` (8 in their experiments) bounds cluster size; this
+structure enforces the cap at union time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets over ``range(n)`` with union-by-size + path compression.
+
+    Parameters
+    ----------
+    n:
+        Number of elements.
+    max_size:
+        Optional cap; :meth:`union` refuses merges whose combined size
+        would exceed it (returns ``False``).
+    """
+
+    def __init__(self, n: int, *, max_size: int | None = None) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+        self.max_size = max_size
+        self.n_sets = n
+
+    def find(self, x: int) -> int:
+        """Root of ``x``'s set (with path compression)."""
+        p = self.parent
+        root = x
+        while p[root] != root:
+            root = int(p[root])
+        while p[x] != root:
+            p[x], x = root, int(p[x])
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``.
+
+        Returns ``False`` (no-op) when already joined or when the merge
+        would exceed ``max_size``.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.max_size is not None and self.size[ra] + self.size[rb] > self.max_size:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.n_sets -= 1
+        return True
+
+    def set_size(self, x: int) -> int:
+        return int(self.size[self.find(x)])
+
+    def groups(self) -> list[np.ndarray]:
+        """All sets as arrays of member ids, members ascending, groups
+        ordered by smallest member."""
+        n = self.parent.size
+        roots = np.fromiter((self.find(i) for i in range(n)), dtype=np.int64, count=n)
+        order = np.argsort(roots, kind="stable")
+        sorted_roots = roots[order]
+        boundaries = np.flatnonzero(np.diff(sorted_roots)) + 1
+        groups = np.split(order, boundaries)
+        groups = [np.sort(g) for g in groups]
+        groups.sort(key=lambda g: int(g[0]))
+        return groups

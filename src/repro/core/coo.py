@@ -1,0 +1,146 @@
+"""COO (coordinate / triplet) sparse matrix container.
+
+COO is the interchange format of this library: matrix generators and the
+MatrixMarket reader produce COO, and :class:`repro.core.csr.CSRMatrix` is
+built from it.  The container is deliberately small — it stores the three
+triplet arrays plus a shape and offers canonicalisation (sorting and
+duplicate summing), which is the only nontrivial COO operation the rest of
+the library needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """Sparse matrix in coordinate (triplet) form.
+
+    Attributes
+    ----------
+    rows, cols:
+        ``int64`` arrays of equal length holding the coordinates of each
+        stored entry.
+    values:
+        ``float64`` array of the stored entry values, same length.
+    shape:
+        ``(nrows, ncols)`` of the logical matrix.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if not (self.rows.shape == self.cols.shape == self.values.shape):
+            raise ValueError(
+                "rows, cols and values must have identical shapes; got "
+                f"{self.rows.shape}, {self.cols.shape}, {self.values.shape}"
+            )
+        if self.rows.ndim != 1:
+            raise ValueError("COO triplet arrays must be one-dimensional")
+        nrows, ncols = self.shape
+        if nrows < 0 or ncols < 0:
+            raise ValueError(f"shape must be non-negative, got {self.shape}")
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= nrows:
+                raise ValueError("row index out of range for shape")
+            if self.cols.min() < 0 or self.cols.max() >= ncols:
+                raise ValueError("column index out of range for shape")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "COOMatrix":
+        """An all-zero matrix of the given shape."""
+        z = np.zeros(0, dtype=np.int64)
+        return cls(z, z.copy(), np.zeros(0, dtype=np.float64), shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Extract the nonzero entries of a dense 2-D array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        r, c = np.nonzero(dense)
+        return cls(r.astype(np.int64), c.astype(np.int64), dense[r, c], dense.shape)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return int(self.rows.size)
+
+    # ------------------------------------------------------------------
+    # Canonicalisation
+    # ------------------------------------------------------------------
+    def canonicalize(self, *, sum_duplicates: bool = True, prune_zeros: bool = False) -> "COOMatrix":
+        """Return a new COO with entries sorted by ``(row, col)``.
+
+        Parameters
+        ----------
+        sum_duplicates:
+            Merge entries that share a coordinate by summing their values
+            (the MatrixMarket / SuiteSparse convention).
+        prune_zeros:
+            Drop entries whose (possibly summed) value is exactly zero.
+        """
+        if self.nnz == 0:
+            return COOMatrix(self.rows.copy(), self.cols.copy(), self.values.copy(), self.shape)
+        order = np.lexsort((self.cols, self.rows))
+        r = self.rows[order]
+        c = self.cols[order]
+        v = self.values[order]
+        if sum_duplicates:
+            # Boundary where either coordinate changes starts a new group.
+            new_group = np.empty(r.size, dtype=bool)
+            new_group[0] = True
+            np.not_equal(r[1:], r[:-1], out=new_group[1:])
+            np.logical_or(new_group[1:], c[1:] != c[:-1], out=new_group[1:])
+            group_ids = np.cumsum(new_group) - 1
+            n_groups = int(group_ids[-1]) + 1
+            summed = np.zeros(n_groups, dtype=np.float64)
+            np.add.at(summed, group_ids, v)
+            first = np.flatnonzero(new_group)
+            r, c, v = r[first], c[first], summed
+        if prune_zeros:
+            keep = v != 0.0
+            r, c, v = r[keep], c[keep], v[keep]
+        return COOMatrix(r, c, v, self.shape)
+
+    # ------------------------------------------------------------------
+    # Conversions / transforms
+    # ------------------------------------------------------------------
+    def transpose(self) -> "COOMatrix":
+        """Swap rows and columns (cheap — arrays are shared views)."""
+        return COOMatrix(self.cols, self.rows, self.values, (self.shape[1], self.shape[0]))
+
+    def symmetrize(self) -> "COOMatrix":
+        """Return ``A + Aᵀ`` structurally (values summed on overlap).
+
+        Used by graph-based reorderings, which require an undirected
+        adjacency structure.
+        """
+        r = np.concatenate([self.rows, self.cols])
+        c = np.concatenate([self.cols, self.rows])
+        v = np.concatenate([self.values, self.values])
+        n = max(self.shape)
+        return COOMatrix(r, c, v, (n, n)).canonicalize()
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ``float64`` array (testing only)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.rows, self.cols), self.values)
+        return out

@@ -1,0 +1,352 @@
+"""Compressed Sparse Row (CSR) matrix — the workhorse format of the paper.
+
+This is a from-scratch CSR implementation (paper §2.1, Fig. 4): three
+arrays ``indptr`` (the paper's *row-ptrs*), ``indices`` (*col-id*) and
+``values``.  It is intentionally independent of :mod:`scipy.sparse` — scipy
+is used only in the test-suite as an oracle.
+
+Canonical form
+--------------
+A :class:`CSRMatrix` is *canonical* when, within every row, column indices
+are strictly increasing (sorted, no duplicates).  All constructors produce
+canonical matrices; kernels rely on it (e.g. Jaccard similarity uses merge
+semantics on sorted index slices).
+
+Memory accounting
+-----------------
+:meth:`CSRMatrix.memory_bytes` reports the *logical* size of the structure
+(4-byte column indices + 8-byte values + 8-byte row pointers by default,
+matching the C++ implementation the paper evaluates) independent of the
+numpy dtypes used here, so the Fig. 11 memory study is faithful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["CSRMatrix"]
+
+#: Logical byte widths used for memory accounting (paper's C++ layout).
+INDEX_BYTES = 4
+VALUE_BYTES = 8
+POINTER_BYTES = 8
+
+
+class CSRMatrix:
+    """Sparse matrix in CSR format.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``nrows + 1``; row ``i`` occupies
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        Column index of each stored entry, sorted within each row.
+    values:
+        Stored entry values (``float64``).
+    shape:
+        ``(nrows, ncols)``.
+    check:
+        Validate structural invariants on construction (cheap; on by
+        default — pass ``False`` in hot loops that build trusted data).
+    """
+
+    __slots__ = ("indptr", "indices", "values", "shape")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        shape: tuple[int, int],
+        *,
+        check: bool = True,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if check:
+            self._check()
+
+    def _check(self) -> None:
+        nrows, ncols = self.shape
+        if self.indptr.shape != (nrows + 1,):
+            raise ValueError(f"indptr must have length nrows+1={nrows + 1}, got {self.indptr.shape}")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size != self.values.size:
+            raise ValueError("indices and values must have equal length")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= ncols:
+                raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, sum_duplicates: bool = True) -> "CSRMatrix":
+        """Build a canonical CSR from a COO matrix."""
+        canon = coo.canonicalize(sum_duplicates=sum_duplicates)
+        counts = np.bincount(canon.rows, minlength=coo.shape[0])
+        indptr = np.zeros(coo.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, canon.cols, canon.values, coo.shape, check=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Convert from any scipy.sparse matrix (test interop)."""
+        m = mat.tocsr()
+        m.sort_indices()
+        m.sum_duplicates()
+        return cls(
+            m.indptr.astype(np.int64),
+            m.indices.astype(np.int64),
+            m.data.astype(np.float64),
+            m.shape,
+            check=False,
+        )
+
+    @classmethod
+    def eye(cls, n: int) -> "CSRMatrix":
+        """The n×n identity."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls(np.arange(n + 1, dtype=np.int64), idx, np.ones(n), (n, n), check=False)
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "CSRMatrix":
+        return cls(
+            np.zeros(shape[0] + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+            shape,
+            check=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row nonzero counts (length ``nrows``)."""
+        return np.diff(self.indptr)
+
+    def row_cols(self, i: int) -> np.ndarray:
+        """Column indices of row ``i`` (a view, sorted)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def row_vals(self, i: int) -> np.ndarray:
+        """Values of row ``i`` (a view, aligned with :meth:`row_cols`)."""
+        return self.values[self.indptr[i] : self.indptr[i + 1]]
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(self.indptr.copy(), self.indices.copy(), self.values.copy(), self.shape, check=False)
+
+    # ------------------------------------------------------------------
+    # Memory accounting (paper Fig. 11 baseline)
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Logical storage footprint: indptr + per-entry (col-id, value)."""
+        return (self.nrows + 1) * POINTER_BYTES + self.nnz * (INDEX_BYTES + VALUE_BYTES)
+
+    # ------------------------------------------------------------------
+    # Structural transforms
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRMatrix":
+        """Return ``Aᵀ`` in canonical CSR (counting-sort based, O(nnz))."""
+        nrows, ncols = self.shape
+        counts = np.bincount(self.indices, minlength=ncols)
+        t_indptr = np.zeros(ncols + 1, dtype=np.int64)
+        np.cumsum(counts, out=t_indptr[1:])
+        t_indices = np.empty(self.nnz, dtype=np.int64)
+        t_values = np.empty(self.nnz, dtype=np.float64)
+        # Row id of each stored entry, in storage order: because rows are
+        # visited in increasing order and a stable sort over column index
+        # preserves row order within a column, argsort(kind="stable") yields
+        # each column's entries already sorted by row.
+        row_of = np.repeat(np.arange(nrows, dtype=np.int64), np.diff(self.indptr))
+        order = np.argsort(self.indices, kind="stable")
+        t_indices[:] = row_of[order]
+        t_values[:] = self.values[order]
+        return CSRMatrix(t_indptr, t_indices, t_values, (ncols, nrows), check=False)
+
+    def binarize(self) -> "CSRMatrix":
+        """Same pattern with all values set to 1.0 (paper Alg. 3 setup)."""
+        return CSRMatrix(self.indptr.copy(), self.indices.copy(), np.ones(self.nnz), self.shape, check=False)
+
+    def permute_rows(self, perm: np.ndarray) -> "CSRMatrix":
+        """Return the matrix with row ``perm[k]`` of ``self`` as new row ``k``.
+
+        ``perm`` is the *gather* convention: ``out[k, :] = self[perm[k], :]``.
+        """
+        perm = _check_perm(perm, self.nrows)
+        lens = np.diff(self.indptr)[perm]
+        indptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        # Gather each source row slice. Vectorised via ranges trick.
+        src_starts = self.indptr[perm]
+        take = _concat_ranges(src_starts, lens)
+        return CSRMatrix(indptr, self.indices[take], self.values[take], self.shape, check=False)
+
+    def permute_cols(self, perm: np.ndarray) -> "CSRMatrix":
+        """Return the matrix with column ``perm[k]`` of ``self`` as new column ``k``.
+
+        Matches :meth:`permute_rows` semantics: ``out[:, k] = self[:, perm[k]]``.
+        """
+        perm = _check_perm(perm, self.ncols)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(perm.size, dtype=np.int64)
+        new_indices = inv[self.indices]
+        # Re-sort within each row.
+        return _sort_within_rows(self.indptr, new_indices, self.values, self.shape)
+
+    def permute_symmetric(self, perm: np.ndarray) -> "CSRMatrix":
+        """``P A Pᵀ`` where ``P`` gathers ``perm`` — rows and columns together.
+
+        This is how solver-style reorderings (RCM, AMD, ND, GP, HP, …) are
+        applied for the ``A²`` workload (see DESIGN.md §4).
+        """
+        return self.permute_rows(perm).permute_cols(perm)
+
+    def extract_rows(self, rows: np.ndarray) -> "CSRMatrix":
+        """Submatrix of the given rows (in the given order), all columns."""
+        rows = np.asarray(rows, dtype=np.int64)
+        lens = np.diff(self.indptr)[rows]
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        take = _concat_ranges(self.indptr[rows], lens)
+        return CSRMatrix(indptr, self.indices[take], self.values[take], (rows.size, self.ncols), check=False)
+
+    def scale_values(self, value: float) -> "CSRMatrix":
+        """Pattern-preserving constant fill (used to reset values to 1)."""
+        return CSRMatrix(self.indptr.copy(), self.indices.copy(), np.full(self.nnz, value), self.shape, check=False)
+
+    def drop_explicit_zeros(self) -> "CSRMatrix":
+        """Remove stored entries whose value is exactly 0.0."""
+        keep = self.values != 0.0
+        lens = np.zeros(self.nrows, dtype=np.int64)
+        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
+        np.add.at(lens, row_of[keep], 1)
+        indptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        return CSRMatrix(indptr, self.indices[keep], self.values[keep], self.shape, check=False)
+
+    # ------------------------------------------------------------------
+    # Similarity (paper §3.2)
+    # ------------------------------------------------------------------
+    def jaccard_similarity(self, i: int, j: int) -> float:
+        """Jaccard similarity of the column-index sets of rows ``i`` and ``j``.
+
+        ``|cols(i) ∩ cols(j)| / |cols(i) ∪ cols(j)|``; 1.0 when both rows
+        are empty (identical patterns), matching Alg. 2's usage where an
+        empty row extends a cluster of empty rows.
+        """
+        a = self.row_cols(i)
+        b = self.row_cols(j)
+        if a.size == 0 and b.size == 0:
+            return 1.0
+        inter = np.intersect1d(a, b, assume_unique=True).size
+        union = a.size + b.size - inter
+        return inter / union
+
+    def row_overlap(self, i: int, j: int) -> int:
+        """``|cols(i) ∩ cols(j)|`` — the (i,j) entry of binarised ``A·Aᵀ``."""
+        return int(np.intersect1d(self.row_cols(i), self.row_cols(j), assume_unique=True).size)
+
+    # ------------------------------------------------------------------
+    # Conversions & comparisons
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr))
+        return COOMatrix(row_of, self.indices.copy(), self.values.copy(), self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def to_scipy(self):
+        import scipy.sparse as sp
+
+        return sp.csr_matrix((self.values, self.indices, self.indptr), shape=self.shape)
+
+    def allclose(self, other: "CSRMatrix", *, rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        """Numerically compare two canonical CSR matrices."""
+        if self.shape != other.shape:
+            return False
+        if not np.array_equal(self.indptr, other.indptr):
+            return False
+        if not np.array_equal(self.indices, other.indices):
+            return False
+        return bool(np.allclose(self.values, other.values, rtol=rtol, atol=atol))
+
+    def same_pattern(self, other: "CSRMatrix") -> bool:
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _check_perm(perm: np.ndarray, n: int) -> np.ndarray:
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (n,):
+        raise ValueError(f"permutation must have length {n}, got {perm.shape}")
+    seen = np.zeros(n, dtype=bool)
+    seen[perm] = True
+    if not seen.all():
+        raise ValueError("not a permutation: indices missing or repeated")
+    return perm
+
+
+def _concat_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Vectorised ``np.concatenate([arange(s, s+l) for s, l in zip(...)])``.
+
+    Standard cumsum trick: build offsets within the concatenated output and
+    add per-range start corrections.
+    """
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(lens)
+    nonempty = lens > 0
+    first_pos = np.concatenate([[0], ends[:-1]])[nonempty]
+    out[first_pos] = starts[nonempty]
+    # Correct the step at each range boundary (first element of each range).
+    prev_last = (starts[nonempty] + lens[nonempty] - 1)[:-1]
+    out[first_pos[1:]] -= prev_last
+    return np.cumsum(out)
+
+
+def _sort_within_rows(
+    indptr: np.ndarray, indices: np.ndarray, values: np.ndarray, shape: tuple[int, int]
+) -> CSRMatrix:
+    """Restore canonical (sorted-within-row) order after a column remap."""
+    nrows = shape[0]
+    row_of = np.repeat(np.arange(nrows, dtype=np.int64), np.diff(indptr))
+    order = np.lexsort((indices, row_of))
+    return CSRMatrix(indptr.copy(), indices[order], values[order], shape, check=False)

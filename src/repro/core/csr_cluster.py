@@ -1,0 +1,249 @@
+"""``CSR_Cluster`` — the clustered sparse-matrix format of the paper (§3.1).
+
+``CSR_Cluster`` groups consecutive rows (after any reordering) into
+*clusters* and stores each cluster column-major: the distinct column
+indices of the cluster are stored once, and for every distinct column a
+dense column *fiber* of ``cluster_size`` values is stored, with explicit
+padding slots where a row has no entry in that column (paper Fig. 6).
+
+This layout is what enables the cluster-wise access pattern of paper
+Alg. 1: when a row ``k`` of ``B`` is loaded, the kernel immediately applies
+it to *all* rows of the cluster (one fiber), so ``B``-row reuse happens
+while the line is cache-resident.
+
+Layout
+------
+For cluster ``c`` (``nclusters`` total, covering ``nrows`` rows)::
+
+    rows of c      = row_ids[cluster_ptr[c] : cluster_ptr[c+1]]
+    columns of c   = cols[col_ptr[c] : col_ptr[c+1]]          (sorted, distinct)
+    fiber of (c,p) = vals[val_ptr[c] + p*size_c : ... + size_c]
+
+``mask`` parallels ``vals`` and is ``True`` for structural entries,
+``False`` for padding, so conversions and kernels can reproduce the exact
+output pattern of row-wise SpGEMM (padding is *not* structural).
+
+Memory accounting (paper Fig. 11)
+---------------------------------
+* fixed-length: ``col_ptr`` (cluster-ptrs) + ``cols`` + padded values.
+  ``val_ptr`` is implicit (``size * col_ptr[c]``) and there is no
+  cluster-size array.
+* variable-length (incl. hierarchical): adds the cluster-size array and
+  the value-pointer array, as the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix, INDEX_BYTES, POINTER_BYTES, VALUE_BYTES
+
+__all__ = ["CSRCluster"]
+
+#: Logical width of a cluster-size entry (paper stores small sizes).
+SIZE_BYTES = 4
+
+
+class CSRCluster:
+    """Sparse matrix stored cluster-wise (see module docstring)."""
+
+    __slots__ = (
+        "row_ids",
+        "cluster_ptr",
+        "col_ptr",
+        "cols",
+        "val_ptr",
+        "vals",
+        "mask",
+        "shape",
+        "fixed_size",
+    )
+
+    def __init__(
+        self,
+        row_ids: np.ndarray,
+        cluster_ptr: np.ndarray,
+        col_ptr: np.ndarray,
+        cols: np.ndarray,
+        val_ptr: np.ndarray,
+        vals: np.ndarray,
+        mask: np.ndarray,
+        shape: tuple[int, int],
+        *,
+        fixed_size: int | None = None,
+    ) -> None:
+        self.row_ids = np.asarray(row_ids, dtype=np.int64)
+        self.cluster_ptr = np.asarray(cluster_ptr, dtype=np.int64)
+        self.col_ptr = np.asarray(col_ptr, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.val_ptr = np.asarray(val_ptr, dtype=np.int64)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        self.mask = np.asarray(mask, dtype=bool)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.fixed_size = fixed_size
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_clusters(cls, A: CSRMatrix, clusters: list[np.ndarray], *, fixed_size: int | None = None) -> "CSRCluster":
+        """Build ``CSR_Cluster`` from ``A`` and a list of row-id groups.
+
+        ``clusters`` must partition ``range(A.nrows)``; the concatenation
+        order of the groups defines the (implicit) row reordering.
+        """
+        nrows = A.nrows
+        sizes = np.array([len(c) for c in clusters], dtype=np.int64)
+        if int(sizes.sum()) != nrows:
+            raise ValueError(f"clusters cover {int(sizes.sum())} rows, matrix has {nrows}")
+        row_ids = np.concatenate([np.asarray(c, dtype=np.int64) for c in clusters]) if clusters else np.zeros(0, np.int64)
+        seen = np.zeros(nrows, dtype=bool)
+        seen[row_ids] = True
+        if not seen.all():
+            raise ValueError("clusters do not partition the row set")
+
+        cluster_ptr = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=cluster_ptr[1:])
+
+        cols_parts: list[np.ndarray] = []
+        vals_parts: list[np.ndarray] = []
+        mask_parts: list[np.ndarray] = []
+        col_counts = np.zeros(sizes.size, dtype=np.int64)
+        slot_counts = np.zeros(sizes.size, dtype=np.int64)
+
+        for ci, rows in enumerate(clusters):
+            rows = np.asarray(rows, dtype=np.int64)
+            size_c = rows.size
+            # Distinct sorted columns across the cluster's rows.
+            pieces = [A.row_cols(int(r)) for r in rows]
+            if pieces and sum(p.size for p in pieces):
+                ccols = np.unique(np.concatenate(pieces))
+            else:
+                ccols = np.zeros(0, dtype=np.int64)
+            k = ccols.size
+            block = np.zeros((k, size_c), dtype=np.float64)  # fibers: column-major within cluster
+            mblock = np.zeros((k, size_c), dtype=bool)
+            for r_local, r in enumerate(rows):
+                rc = A.row_cols(int(r))
+                rv = A.row_vals(int(r))
+                pos = np.searchsorted(ccols, rc)
+                block[pos, r_local] = rv
+                mblock[pos, r_local] = True
+            cols_parts.append(ccols)
+            vals_parts.append(block.ravel())
+            mask_parts.append(mblock.ravel())
+            col_counts[ci] = k
+            slot_counts[ci] = k * size_c
+
+        col_ptr = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(col_counts, out=col_ptr[1:])
+        val_ptr = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(slot_counts, out=val_ptr[1:])
+        cols = np.concatenate(cols_parts) if cols_parts else np.zeros(0, np.int64)
+        vals = np.concatenate(vals_parts) if vals_parts else np.zeros(0, np.float64)
+        mask = np.concatenate(mask_parts) if mask_parts else np.zeros(0, bool)
+        return cls(row_ids, cluster_ptr, col_ptr, cols, val_ptr, vals, mask, A.shape, fixed_size=fixed_size)
+
+    # ------------------------------------------------------------------
+    # Properties & stats
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nclusters(self) -> int:
+        return self.cluster_ptr.size - 1
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.diff(self.cluster_ptr)
+
+    @property
+    def nnz(self) -> int:
+        """Structural nonzeros (padding excluded)."""
+        return int(np.count_nonzero(self.mask))
+
+    @property
+    def padded_slots(self) -> int:
+        """Total value slots stored, including padding."""
+        return int(self.vals.size)
+
+    def padding_ratio(self) -> float:
+        """``padded_slots / nnz`` — 1.0 means no padding at all."""
+        nnz = self.nnz
+        return float(self.padded_slots) / nnz if nnz else 1.0
+
+    def cluster_rows(self, c: int) -> np.ndarray:
+        """Original row ids of cluster ``c`` (in cluster-local order)."""
+        return self.row_ids[self.cluster_ptr[c] : self.cluster_ptr[c + 1]]
+
+    def cluster_cols(self, c: int) -> np.ndarray:
+        """Distinct sorted column ids of cluster ``c``."""
+        return self.cols[self.col_ptr[c] : self.col_ptr[c + 1]]
+
+    def cluster_block(self, c: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(vals, mask)`` fibers of cluster ``c`` shaped ``(k, size_c)``."""
+        size_c = int(self.cluster_ptr[c + 1] - self.cluster_ptr[c])
+        k = int(self.col_ptr[c + 1] - self.col_ptr[c])
+        sl = slice(self.val_ptr[c], self.val_ptr[c] + k * size_c)
+        return self.vals[sl].reshape(k, size_c), self.mask[sl].reshape(k, size_c)
+
+    # ------------------------------------------------------------------
+    # Memory accounting (Fig. 11)
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Logical storage footprint per the paper's description (§3.1).
+
+        Fixed-length clusters need only cluster-ptrs + col-ids + padded
+        values; variable-length additionally stores the cluster-size array
+        and the value-pointer array.
+        """
+        ncl = self.nclusters
+        base = (ncl + 1) * POINTER_BYTES  # cluster-ptrs into col-id
+        base += self.cols.size * INDEX_BYTES
+        base += self.padded_slots * VALUE_BYTES
+        if self.fixed_size is None:
+            base += ncl * SIZE_BYTES  # cluster-sz array
+            base += (ncl + 1) * POINTER_BYTES  # value pointers
+        return base
+
+    # ------------------------------------------------------------------
+    # Conversion (round-trip used heavily in tests)
+    # ------------------------------------------------------------------
+    def to_csr(self) -> CSRMatrix:
+        """Reconstruct the (un-reordered) CSR matrix, padding dropped."""
+        nrows = self.nrows
+        rows_acc: list[np.ndarray] = []
+        cols_acc: list[np.ndarray] = []
+        vals_acc: list[np.ndarray] = []
+        for c in range(self.nclusters):
+            rows = self.cluster_rows(c)
+            ccols = self.cluster_cols(c)
+            block, mblock = self.cluster_block(c)
+            p_idx, r_idx = np.nonzero(mblock)
+            rows_acc.append(rows[r_idx])
+            cols_acc.append(ccols[p_idx])
+            vals_acc.append(block[p_idx, r_idx])
+        from .coo import COOMatrix
+
+        if rows_acc:
+            coo = COOMatrix(
+                np.concatenate(rows_acc), np.concatenate(cols_acc), np.concatenate(vals_acc), self.shape
+            )
+        else:
+            coo = COOMatrix.empty(self.shape)
+        return CSRMatrix.from_coo(coo, sum_duplicates=False)
+
+    def permutation(self) -> np.ndarray:
+        """The implicit row reordering: new row ``k`` is old row ``perm[k]``."""
+        return self.row_ids.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRCluster(shape={self.shape}, nclusters={self.nclusters}, "
+            f"nnz={self.nnz}, padded={self.padded_slots})"
+        )

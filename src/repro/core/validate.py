@@ -1,0 +1,52 @@
+"""Structural invariant checks for the sparse containers.
+
+These checks are written as standalone functions (rather than methods) so
+tests and property-based suites can assert invariants on any instance,
+including deliberately malformed ones built with ``check=False``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["assert_canonical", "is_canonical", "assert_same_shape"]
+
+
+def is_canonical(mat: CSRMatrix) -> bool:
+    """True when column indices are strictly increasing within every row.
+
+    Canonical form implies sortedness *and* no duplicate columns in a row;
+    every kernel in :mod:`repro.core` assumes it.
+    """
+    idx = mat.indices
+    if idx.size < 2:
+        return True
+    ptr = mat.indptr
+    # Differences within rows must be positive; boundary positions between
+    # rows are exempt.
+    d = np.diff(idx)
+    boundary = np.zeros(idx.size - 1, dtype=bool)
+    inner_ends = ptr[1:-1]  # positions where a new row starts in `indices`
+    boundary[inner_ends[(inner_ends > 0) & (inner_ends < idx.size)] - 1] = True
+    return bool(np.all(d[~boundary] > 0))
+
+
+def assert_canonical(mat: CSRMatrix, *, name: str = "matrix") -> None:
+    """Raise ``ValueError`` with a precise message if ``mat`` is not canonical."""
+    mat._check()
+    if not is_canonical(mat):
+        # Locate the first offending row for the error message.
+        for i in range(mat.nrows):
+            cols = mat.row_cols(i)
+            if cols.size >= 2 and not np.all(np.diff(cols) > 0):
+                raise ValueError(
+                    f"{name}: row {i} has unsorted or duplicate column indices: {cols.tolist()[:16]}"
+                )
+        raise ValueError(f"{name}: non-canonical structure")
+
+
+def assert_same_shape(a: CSRMatrix, b: CSRMatrix) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")

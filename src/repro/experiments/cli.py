@@ -1,0 +1,173 @@
+"""Command-line entry point for regenerating paper artefacts.
+
+Usage::
+
+    python -m repro.experiments.cli fig2          # one figure
+    python -m repro.experiments.cli table2 --suite quick
+    python -m repro.experiments.cli all --suite full
+
+Prints the same paper-style tables the benchmark harness saves under
+``benchmarks/results/`` (the pytest benches additionally time the
+kernels and assert the paper's shape; this CLI is the lightweight
+rendering path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..analysis import (
+    amortization_profile,
+    best_of,
+    ratio_profile,
+    render_box_figure,
+    render_dataset_bars,
+    render_matrix_table,
+    render_profile,
+    render_table2,
+    summarize_speedups,
+)
+from ..matrices import REPRESENTATIVE, TALLSKINNY, suite_names
+from .cache import cached_matrix_sweep, cached_tallskinny_sweep, sweep_suite
+from .config import ExperimentConfig
+
+REORDER_ORDER = ["shuffled", "rabbit", "amd", "rcm", "nd", "gp", "hp", "gray", "degree", "slashburn"]
+
+
+def _suite(args) -> list[str]:
+    if args.suite == "quick":
+        return suite_names("standard")[:16]
+    return suite_names(args.suite)
+
+
+def fig2(args) -> str:
+    sweeps = sweep_suite(_suite(args), ExperimentConfig(), verbose=args.verbose)
+    per = {a: [s.speedup("rowwise", a) for s in sweeps] for a in REORDER_ORDER}
+    per["hierarchical"] = [
+        s.baseline_time / s.hierarchical_rowwise.time if s.hierarchical_rowwise else float("nan") for s in sweeps
+    ]
+    return render_box_figure("Figure 2: row-wise SpGEMM speedup after reordering", {a: summarize_speedups(v) for a, v in per.items()})
+
+
+def fig3(args) -> str:
+    sweeps = sweep_suite(_suite(args), ExperimentConfig(), verbose=args.verbose)
+    boxes = {}
+    for variant in ("fixed", "variable"):
+        for a in ["original"] + REORDER_ORDER:
+            boxes[f"{variant}/{a}"] = summarize_speedups([s.speedup(variant, a) for s in sweeps])
+    boxes["hierarchical"] = summarize_speedups(
+        [s.baseline_time / s.hierarchical.time for s in sweeps if s.hierarchical]
+    )
+    return render_box_figure("Figure 3: cluster-wise SpGEMM with reordering", boxes)
+
+
+def fig8(args) -> str:
+    cfg = ExperimentConfig()
+    series = {"fixed": [], "variable": [], "hierarchical": []}
+    for name in REPRESENTATIVE:
+        s = cached_matrix_sweep(name, cfg)
+        series["fixed"].append(s.speedup("fixed", "original"))
+        series["variable"].append(s.speedup("variable", "original"))
+        series["hierarchical"].append(s.baseline_time / s.hierarchical.time)
+    return render_dataset_bars("Figure 8: cluster-wise SpGEMM on representative datasets", REPRESENTATIVE, series)
+
+
+def fig9(args) -> str:
+    cfg = ExperimentConfig()
+    algos = ["amd", "rcm", "gp", "hp"]
+    series = {a: [] for a in algos}
+    for name in REPRESENTATIVE:
+        s = cached_matrix_sweep(name, cfg)
+        for a in algos:
+            series[a].append(s.speedup("rowwise", a))
+    return render_dataset_bars("Figure 9: row-wise SpGEMM speedup (AMD/RCM/GP/HP)", REPRESENTATIVE, series)
+
+
+def fig10(args) -> str:
+    sweeps = sweep_suite(_suite(args), ExperimentConfig(), verbose=args.verbose)
+    profiles = {}
+    for a in [x for x in REORDER_ORDER if x != "hp"]:
+        profiles[a] = amortization_profile(
+            [s.rowwise[a].amortization_iterations(s.baseline_time) for s in sweeps], max_x=20
+        )
+    profiles["hierarchical"] = amortization_profile(
+        [s.hierarchical.amortization_iterations(s.baseline_time) for s in sweeps if s.hierarchical], max_x=20
+    )
+    return render_profile("Figure 10: reordering amortisation profile", profiles, xs=[1, 2, 5, 10, 20])
+
+
+def fig11(args) -> str:
+    sweeps = sweep_suite(_suite(args), ExperimentConfig(), verbose=args.verbose)
+    profiles = {
+        m: ratio_profile([s.memory_ratio[m] for s in sweeps if m in s.memory_ratio], max_x=5.0)
+        for m in ("fixed", "variable", "hierarchical")
+    }
+    return render_profile("Figure 11: cluster-format memory vs CSR", profiles, xs=[0.75, 1, 1.5, 2, 3, 5])
+
+
+def table2(args) -> str:
+    sweeps = sweep_suite(_suite(args), ExperimentConfig(), verbose=args.verbose)
+    rows = {}
+    for a in REORDER_ORDER:
+        rows[a.capitalize()] = {v: [s.speedup(v, a) for s in sweeps] for v in ("rowwise", "fixed", "variable")}
+    rows["Best Reord."] = {
+        v: best_of({a: [s.speedup(v, a) for s in sweeps] for a in REORDER_ORDER})
+        for v in ("rowwise", "fixed", "variable")
+    }
+    return render_table2(rows)
+
+
+def table3(args) -> str:
+    cfg = ExperimentConfig()
+    grid = np.zeros((len(TALLSKINNY), len(REORDER_ORDER) + 1))
+    for i, name in enumerate(TALLSKINNY):
+        res = cached_tallskinny_sweep(name, cfg)
+        vals = [res.rowwise_speedup.get(a, float("nan")) for a in REORDER_ORDER]
+        grid[i, :-1] = vals
+        grid[i, -1] = np.nanmax(vals)
+    return render_matrix_table("Table 3: tall-skinny speedup after reordering", TALLSKINNY, REORDER_ORDER + ["Best"], grid)
+
+
+def table4(args) -> str:
+    cfg = ExperimentConfig()
+    grid = np.full((len(TALLSKINNY), 10), np.nan)
+    for i, name in enumerate(TALLSKINNY):
+        res = cached_tallskinny_sweep(name, cfg)
+        vals = res.hierarchical_speedup[:10]
+        grid[i, : len(vals)] = vals
+    return render_matrix_table(
+        "Table 4: hierarchical cluster-wise speedup per BC iteration", TALLSKINNY, [f"i{k}" for k in range(1, 11)], grid, mean_col=True
+    )
+
+
+COMMANDS = {
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments.cli", description=__doc__)
+    parser.add_argument("what", choices=[*COMMANDS, "all"], help="artefact to regenerate")
+    parser.add_argument("--suite", default="standard", choices=["quick", "standard", "full"])
+    parser.add_argument("--verbose", action="store_true", help="print sweep progress")
+    args = parser.parse_args(argv)
+    targets = list(COMMANDS) if args.what == "all" else [args.what]
+    for t in targets:
+        print(COMMANDS[t](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Experiment configuration (shared by every table/figure bench)."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["ExperimentConfig", "default_config", "suite_subset_from_env"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of one evaluation sweep.
+
+    Machine parameters mirror DESIGN.md's scaled-down Perlmutter model;
+    clustering parameters are the paper's (``jacc_th=0.3``,
+    ``max_cluster_th=8``, fixed length 8).
+    """
+
+    n_threads: int = 8
+    cache_lines: int = 512
+    line_bytes: int = 64
+    jacc_th: float = 0.3
+    max_cluster_th: int = 8
+    fixed_cluster_size: int = 8
+    column_cap: int = 256
+    seed: int = 0
+    reorderings: tuple[str, ...] = (
+        "shuffled",
+        "rabbit",
+        "amd",
+        "rcm",
+        "nd",
+        "gp",
+        "hp",
+        "gray",
+        "degree",
+        "slashburn",
+    )
+
+    def cache_key(self) -> str:
+        """Stable hash for result caching."""
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def default_config() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+def suite_subset_from_env(default: str = "standard") -> str:
+    """Benchmark suite subset selector.
+
+    ``REPRO_SUITE`` ∈ {``quick``, ``standard``, ``full``} — ``quick``
+    trims the standard subset to its first 16 matrices for smoke runs,
+    ``full`` sweeps all 110.
+    """
+    return os.environ.get("REPRO_SUITE", default)

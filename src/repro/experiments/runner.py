@@ -1,0 +1,241 @@
+"""Experiment orchestration: one sweep powers every table and figure.
+
+For each matrix the runner measures, on the simulated machine:
+
+* row-wise SpGEMM on the original order (the universal baseline),
+* row-wise SpGEMM after each reordering (Fig. 2, Fig. 9, Table 2 col 1),
+* fixed- and variable-length cluster-wise SpGEMM after each reordering
+  *and* on the original order (Fig. 3, Table 2 cols 2-3),
+* hierarchical cluster-wise SpGEMM (Figs. 2, 3, 8),
+* preprocessing work for every configuration (Fig. 10),
+* CSR vs CSR_Cluster memory (Fig. 11).
+
+Results are plain dataclasses; :mod:`repro.experiments.cache` persists
+them so the nine benches share one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..clustering import (
+    Clustering,
+    fixed_length_clustering,
+    hierarchical_clustering,
+    variable_length_clustering,
+)
+from ..core.csr import CSRMatrix
+from ..machine import SimulatedMachine
+from ..machine.cost import CostModel
+from ..matrices import get_matrix
+from ..reordering import reorder
+from ..workloads import ASquareWorkload, bc_frontiers
+from .config import ExperimentConfig
+
+__all__ = ["RunRecord", "MatrixSweep", "run_matrix_sweep", "run_tallskinny_sweep", "TallSkinnyResult", "machine_for"]
+
+
+@dataclass
+class RunRecord:
+    """One (configuration, matrix) measurement."""
+
+    time: float
+    pre_time: float = 0.0  # preprocessing cost in model time units (Fig. 10)
+    misses: int = 0
+    work: int = 0
+
+    def speedup_over(self, baseline_time: float) -> float:
+        return baseline_time / self.time if self.time > 0 else float("inf")
+
+    def amortization_iterations(self, baseline_time: float) -> float:
+        """SpGEMM runs to amortise preprocessing (inf when no gain)."""
+        gain = baseline_time - self.time
+        return self.pre_time / gain if gain > 0 else float("inf")
+
+
+@dataclass
+class MatrixSweep:
+    """All measurements for one matrix (the unit Figs. 2/3/10/11 consume)."""
+
+    name: str
+    nrows: int
+    nnz: int
+    flops: int
+    out_nnz: int
+    baseline_time: float
+    csr_bytes: int
+    rowwise: dict[str, RunRecord] = field(default_factory=dict)  # per reordering
+    fixed: dict[str, RunRecord] = field(default_factory=dict)  # per reordering (+ "original")
+    variable: dict[str, RunRecord] = field(default_factory=dict)
+    hierarchical: RunRecord | None = None
+    hierarchical_rowwise: RunRecord | None = None  # hier. order used as pure reordering
+    memory_ratio: dict[str, float] = field(default_factory=dict)  # method → bytes / CSR bytes
+
+    def speedup(self, variant: str, algo: str) -> float:
+        table = {"rowwise": self.rowwise, "fixed": self.fixed, "variable": self.variable}[variant]
+        rec = table.get(algo)
+        return rec.speedup_over(self.baseline_time) if rec else float("nan")
+
+
+def machine_for(cfg: ExperimentConfig) -> SimulatedMachine:
+    return SimulatedMachine(
+        n_threads=cfg.n_threads,
+        cache_lines=cfg.cache_lines,
+        line_bytes=cfg.line_bytes,
+        cost_model=CostModel(line_bytes=cfg.line_bytes),
+    )
+
+
+def _cluster_record(
+    machine: SimulatedMachine,
+    A: CSRMatrix,
+    clustering: Clustering,
+    out_nnz: int,
+    pre_time: float,
+) -> RunRecord:
+    Ac = clustering.to_csr_cluster(A)
+    res = machine.run_clusterwise(Ac, A, out_nnz=out_nnz)
+    return RunRecord(res.time, pre_time, res.cost.cache.misses, res.cost.work)
+
+
+def run_matrix_sweep(
+    name: str,
+    cfg: ExperimentConfig,
+    *,
+    A: CSRMatrix | None = None,
+    reorderings: tuple[str, ...] | None = None,
+    with_clustering: bool = True,
+) -> MatrixSweep:
+    """Run the full ``A²`` sweep for one matrix.
+
+    ``A`` may be supplied directly (examples/tests); otherwise the suite
+    matrix ``name`` is built.  ``reorderings`` defaults to the config's
+    list; pass a subset for the cheaper per-figure benches.
+    """
+    if A is None:
+        A = get_matrix(name)
+    wl = ASquareWorkload.of(A)
+    machine = machine_for(cfg)
+    algos = cfg.reorderings if reorderings is None else reorderings
+
+    base = machine.run_rowwise(A, A, out_nnz=wl.out_nnz)
+    sweep = MatrixSweep(
+        name=name,
+        nrows=A.nrows,
+        nnz=A.nnz,
+        flops=wl.flops,
+        out_nnz=wl.out_nnz,
+        baseline_time=base.time,
+        csr_bytes=A.memory_bytes(),
+    )
+    sweep.rowwise["original"] = RunRecord(base.time, 0, base.cost.cache.misses, base.cost.work)
+
+    cost = machine.cost
+    if with_clustering:
+        # Clustering without reordering (Fig. 3's "Original" boxes).
+        fc = fixed_length_clustering(A, cluster_size=cfg.fixed_cluster_size)
+        sweep.fixed["original"] = _cluster_record(
+            machine, A, fc, wl.out_nnz, cost.preprocessing_time(fc.work, kind="kernel")
+        )
+        vc = variable_length_clustering(A, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th)
+        sweep.variable["original"] = _cluster_record(
+            machine, A, vc, wl.out_nnz, cost.preprocessing_time(vc.work, kind="kernel")
+        )
+        sweep.memory_ratio["fixed"] = fc.to_csr_cluster(A).memory_bytes() / sweep.csr_bytes
+        sweep.memory_ratio["variable"] = vc.to_csr_cluster(A).memory_bytes() / sweep.csr_bytes
+
+        # Hierarchical clustering (reordering happens inside); its
+        # preprocessing is kernel-like — one A·Aᵀ SpGEMM plus merges.
+        hc = hierarchical_clustering(
+            A, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th, column_cap=cfg.column_cap
+        )
+        hc_pre = cost.preprocessing_time(hc.work, kind="kernel")
+        sweep.hierarchical = _cluster_record(machine, A, hc, wl.out_nnz, hc_pre)
+        sweep.memory_ratio["hierarchical"] = hc.to_csr_cluster(A).memory_bytes() / sweep.csr_bytes
+        # Hierarchical order as a pure row reordering (Fig. 2's last box).
+        Ah = A.permute_symmetric(hc.permutation())
+        res_h = machine.run_rowwise(Ah, Ah, out_nnz=wl.out_nnz)
+        sweep.hierarchical_rowwise = RunRecord(res_h.time, hc_pre, res_h.cost.cache.misses, res_h.cost.work)
+
+    for algo in algos:
+        r = reorder(A, algo, seed=cfg.seed)
+        r_pre = cost.preprocessing_time(r.work, kind="graph")
+        Ar = A.permute_symmetric(r.perm)
+        res = machine.run_rowwise(Ar, Ar, out_nnz=wl.out_nnz)
+        sweep.rowwise[algo] = RunRecord(res.time, r_pre, res.cost.cache.misses, res.cost.work)
+        if with_clustering:
+            fcr = fixed_length_clustering(Ar, cluster_size=cfg.fixed_cluster_size)
+            sweep.fixed[algo] = _cluster_record(
+                machine, Ar, fcr, wl.out_nnz, r_pre + cost.preprocessing_time(fcr.work, kind="kernel")
+            )
+            vcr = variable_length_clustering(Ar, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th)
+            sweep.variable[algo] = _cluster_record(
+                machine, Ar, vcr, wl.out_nnz, r_pre + cost.preprocessing_time(vcr.work, kind="kernel")
+            )
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Tall-skinny workload (paper §4.4, Tables 3 & 4)
+# ----------------------------------------------------------------------
+@dataclass
+class TallSkinnyResult:
+    """Per-dataset tall-skinny measurements.
+
+    ``rowwise_speedup[algo]`` — mean speedup over the frontier sequence of
+    reordered row-wise SpGEMM vs original order (Table 3).
+    ``hierarchical_speedup[i]`` — hierarchical cluster-wise vs row-wise,
+    per frontier iteration (Table 4).
+    """
+
+    name: str
+    rowwise_speedup: dict[str, float] = field(default_factory=dict)
+    hierarchical_speedup: list[float] = field(default_factory=list)
+
+
+def run_tallskinny_sweep(
+    name: str,
+    cfg: ExperimentConfig,
+    *,
+    A: CSRMatrix | None = None,
+    batch: int = 96,
+    depth: int = 10,
+    reorderings: tuple[str, ...] | None = None,
+) -> TallSkinnyResult:
+    """Tall-skinny sweep: ``A × F_i`` over the first ``depth`` BC frontiers."""
+    if A is None:
+        A = get_matrix(name)
+    machine = machine_for(cfg)
+    algos = cfg.reorderings if reorderings is None else reorderings
+    frontiers = bc_frontiers(A, batch=batch, depth=depth, seed=cfg.seed)
+
+    # Baseline: original order, row-wise, per frontier.
+    base_times = []
+    for F in frontiers.frontiers:
+        res = machine.run_rowwise(A, F, out_nnz=None)
+        base_times.append(res.time)
+    base_times = np.array(base_times)
+
+    out = TallSkinnyResult(name=name)
+    for algo in algos:
+        r = reorder(A, algo, seed=cfg.seed)
+        Ar = A.permute_symmetric(r.perm)
+        Fs = frontiers.aligned(r.perm)
+        ts = []
+        for F in Fs.frontiers:
+            res = machine.run_rowwise(Ar, F, out_nnz=None)
+            ts.append(res.time)
+        ts = np.array(ts)
+        ok = (base_times > 0) & (np.array(ts) > 0)
+        out.rowwise_speedup[algo] = float(np.mean(base_times[ok] / ts[ok])) if ok.any() else float("nan")
+
+    # Hierarchical cluster-wise per iteration (Table 4): cluster A once,
+    # reuse across every frontier — the amortisation story of §4.4.
+    hc = hierarchical_clustering(A, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th, column_cap=cfg.column_cap)
+    Ac = hc.to_csr_cluster(A)
+    for F, bt in zip(frontiers.frontiers, base_times):
+        res = machine.run_clusterwise(Ac, F, out_nnz=None)
+        out.hierarchical_speedup.append(float(bt / res.time) if res.time > 0 else float("nan"))
+    return out

@@ -1,0 +1,130 @@
+"""Cache simulators.
+
+The default model is a fully-associative LRU cache — the standard
+idealisation in locality studies (stack-distance equivalent).  A
+set-associative variant is provided for ablations; direct-mapped is the
+degenerate 1-way case.
+
+Implementation notes (hot path!): the LRU uses an ``OrderedDict`` whose
+``move_to_end``/``popitem`` are C-implemented, giving a few million
+simulated accesses per second — enough for the full 110-matrix sweep at
+the suite's scale.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "LRUCache", "SetAssociativeCache", "simulate_lru"]
+
+
+@dataclass
+class CacheStats:
+    """Outcome of one simulation run."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(self.hits + other.hits, self.misses + other.misses)
+
+
+class LRUCache:
+    """Fully-associative LRU cache over integer line ids.
+
+    The cache is *stateful*: consecutive :meth:`run` calls share contents,
+    which lets callers simulate phase sequences (e.g. ten consecutive BC
+    frontier SpGEMMs) realistically.  Use :meth:`flush` between
+    independent experiments.
+    """
+
+    def __init__(self, capacity_lines: int) -> None:
+        if capacity_lines <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_lines}")
+        self.capacity = int(capacity_lines)
+        self._lines: OrderedDict[int, None] = OrderedDict()
+
+    def flush(self) -> None:
+        self._lines.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._lines)
+
+    def run(self, trace: np.ndarray) -> CacheStats:
+        """Simulate the access sequence; returns hits/misses."""
+        od = self._lines
+        cap = self.capacity
+        hits = 0
+        misses = 0
+        contains = od.__contains__
+        move = od.move_to_end
+        pop = od.popitem
+        for line in trace.tolist():
+            if contains(line):
+                move(line)
+                hits += 1
+            else:
+                od[line] = None
+                misses += 1
+                if len(od) > cap:
+                    pop(last=False)
+        return CacheStats(hits, misses)
+
+
+class SetAssociativeCache:
+    """``n_sets × ways`` set-associative cache with per-set LRU.
+
+    Line ``l`` maps to set ``l % n_sets``; within a set, replacement is
+    LRU.  With ``n_sets == 1`` this degenerates to :class:`LRUCache`; with
+    ``ways == 1`` it is direct-mapped.
+    """
+
+    def __init__(self, n_sets: int, ways: int) -> None:
+        if n_sets <= 0 or ways <= 0:
+            raise ValueError("n_sets and ways must be positive")
+        self.n_sets = int(n_sets)
+        self.ways = int(ways)
+        self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(self.n_sets)]
+
+    @property
+    def capacity(self) -> int:
+        return self.n_sets * self.ways
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    def run(self, trace: np.ndarray) -> CacheStats:
+        hits = 0
+        misses = 0
+        sets = self._sets
+        n_sets = self.n_sets
+        ways = self.ways
+        for line in trace.tolist():
+            s = sets[line % n_sets]
+            if line in s:
+                s.move_to_end(line)
+                hits += 1
+            else:
+                s[line] = None
+                misses += 1
+                if len(s) > ways:
+                    s.popitem(last=False)
+        return CacheStats(hits, misses)
+
+
+def simulate_lru(trace: np.ndarray, capacity_lines: int) -> CacheStats:
+    """One-shot cold-start LRU simulation of ``trace``."""
+    return LRUCache(capacity_lines).run(trace)

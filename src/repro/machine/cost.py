@@ -1,0 +1,113 @@
+"""Cost model mapping kernel work + cache behaviour to model time.
+
+The paper's platform is memory-bound for SpGEMM (§1) and its two kernels
+execute a flop very differently, so the model uses distinct per-op rates::
+
+    time = alpha · work  +  beta_miss_byte · miss_bytes
+           + stream_byte · streamed_bytes  +  gamma_brow · b_row_visits
+
+* ``work`` — multiply-adds actually executed.  Row-wise Gustavson pays
+  ``alpha_rowwise`` per flop: every partial product goes through the hash
+  sparse accumulator (hash + probe + insert, [40]).  Cluster-wise pays
+  ``alpha_cluster`` per *padded* slot: the fiber update is a sequential,
+  vectorisable FMA into a dense block — cheaper per op, but executed for
+  padding slots too, which is how CSR_Cluster's padding overhead enters
+  the model (paper §3.1).
+* ``miss_bytes`` — cache-line misses of the simulated ``B`` stream times
+  the line size.
+* ``streamed_bytes`` — sequential one-pass traffic (reading ``A`` /
+  ``CSR_Cluster``, writing ``C``); prefetch-friendly, lower per-byte rate.
+* ``b_row_visits · gamma_brow`` — per-``B``-row access overhead: the
+  row-pointer loads, loop setup and accumulator bookkeeping paid every
+  time a ``B`` row is *opened*.  Row-wise SpGEMM opens a row per stored
+  entry of ``A``; cluster-wise opens it once per (cluster, distinct
+  column) — the amortisation the column-wise fibers buy on top of cache
+  reuse (paper §3.1).
+
+Preprocessing is charged per operation at ``alpha_pre`` for irregular
+graph algorithms (reorderings: pointer-chasing, heaps, partition
+refinement — far costlier per op than a streamed kernel flop, which is
+why the paper's reorderings cost 10–1000× one SpGEMM) and at
+``alpha_rowwise`` for kernel-like passes (hierarchical clustering's
+``A·Aᵀ`` candidate SpGEMM, Jaccard scans).  This gives Fig. 10's
+"SpGEMM runs to amortise" a consistent denominator.
+
+Default calibration: ``alpha_rowwise=3`` (hash insert per flop),
+``alpha_cluster=1`` (vectorised fiber FMA), ``beta=4/byte`` (one 64-byte
+line miss ≈ 256 fiber flops — memory-bound, as the paper and Gamma [50]
+describe), ``gamma=16``, ``alpha_pre=40``.  All weights are constructor
+parameters; the ablation bench sweeps them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import CacheStats
+
+__all__ = ["CostModel", "KernelCost"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Weights of the time model (see module docstring)."""
+
+    alpha_rowwise: float = 3.0
+    alpha_cluster: float = 1.0
+    alpha_pre: float = 40.0
+    beta_miss_byte: float = 4.0
+    stream_byte: float = 0.5
+    gamma_brow: float = 16.0
+    line_bytes: int = 64
+
+    def kernel_time(
+        self,
+        *,
+        work: int,
+        cache: CacheStats,
+        streamed_bytes: int = 0,
+        b_row_visits: int = 0,
+        kernel: str = "rowwise",
+    ) -> float:
+        """Model time of one kernel execution (``kernel`` ∈ {rowwise, cluster})."""
+        alpha = self.alpha_rowwise if kernel == "rowwise" else self.alpha_cluster
+        miss_bytes = cache.misses * self.line_bytes
+        return (
+            alpha * work
+            + self.beta_miss_byte * miss_bytes
+            + self.stream_byte * streamed_bytes
+            + self.gamma_brow * b_row_visits
+        )
+
+    def preprocessing_time(self, work: int, *, kind: str = "graph") -> float:
+        """Model time of a preprocessing pass.
+
+        ``kind="graph"`` — irregular graph algorithm ops (reorderings);
+        ``kind="kernel"`` — streamed kernel-like ops (clustering scans,
+        the hierarchical ``A·Aᵀ`` candidate SpGEMM).
+        """
+        if kind == "graph":
+            return self.alpha_pre * work
+        if kind == "kernel":
+            return self.alpha_rowwise * work
+        raise ValueError(f"unknown preprocessing kind {kind!r}")
+
+
+@dataclass
+class KernelCost:
+    """A fully-attributed kernel cost (returned by the simulated machine)."""
+
+    time: float
+    work: int
+    cache: CacheStats
+    streamed_bytes: int
+    line_bytes: int = 64
+    b_row_visits: int = 0
+
+    @property
+    def miss_bytes(self) -> int:
+        return self.cache.misses * self.line_bytes
+
+    def speedup_over(self, baseline: "KernelCost") -> float:
+        """``baseline.time / self.time`` — >1 means this kernel is faster."""
+        return baseline.time / self.time if self.time > 0 else float("inf")

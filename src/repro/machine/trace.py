@@ -1,0 +1,77 @@
+"""Access-trace builders.
+
+A *trace* is the exact sequence of ``B``-array cache lines a kernel
+touches, in execution order.  Feeding it to an LRU simulator
+(:mod:`repro.machine.cache`) measures precisely the temporal-locality
+effect that reordering and clustering create — the quantity the paper's
+wall-clock numbers are a proxy for.
+
+* Row-wise Gustavson (paper Fig. 1): ``A``'s stored column indices, in
+  storage order, each expanded to the lines of the corresponding ``B``
+  row.  Reordering ``A``'s rows permutes this sequence at row granularity.
+* Cluster-wise (paper Alg. 1): one ``B``-row fetch per *(cluster,
+  distinct column)* — the format's whole point: within a cluster each
+  ``B`` row appears once instead of once per row that needs it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.csr import CSRMatrix, _concat_ranges
+from ..core.csr_cluster import CSRCluster
+from .layout import BLayout
+
+__all__ = ["rowwise_b_trace", "clusterwise_b_trace", "b_row_sequence_trace"]
+
+
+def b_row_sequence_trace(ks: np.ndarray, layout: BLayout) -> np.ndarray:
+    """Expand a sequence of ``B``-row ids into their cache-line ids."""
+    ks = np.asarray(ks, dtype=np.int64)
+    if ks.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = layout.line_start[ks]
+    lens = layout.line_end[ks] - starts
+    return _concat_ranges(starts, lens)
+
+
+def rowwise_b_trace(A: CSRMatrix, layout: BLayout, *, rows: np.ndarray | None = None) -> np.ndarray:
+    """B-line trace of row-wise ``A @ B``.
+
+    Parameters
+    ----------
+    A:
+        First operand; its column indices select ``B`` rows.
+    layout:
+        Line layout of ``B``.
+    rows:
+        Optional subset/order of ``A`` rows to process (a thread's chunk).
+        Defaults to all rows in natural order, in which case the B-row
+        sequence is exactly ``A.indices`` in storage order.
+    """
+    if rows is None:
+        ks = A.indices
+    else:
+        rows = np.asarray(rows, dtype=np.int64)
+        lens = np.diff(A.indptr)[rows]
+        take = _concat_ranges(A.indptr[rows], lens)
+        ks = A.indices[take]
+    return b_row_sequence_trace(ks, layout)
+
+
+def clusterwise_b_trace(
+    Ac: CSRCluster, layout: BLayout, *, clusters: np.ndarray | None = None
+) -> np.ndarray:
+    """B-line trace of cluster-wise ``Ac @ B`` (paper Alg. 1).
+
+    Each distinct column of a cluster triggers exactly one fetch of the
+    corresponding ``B`` row, shared by all rows of the cluster.
+    """
+    if clusters is None:
+        ks = Ac.cols
+    else:
+        clusters = np.asarray(clusters, dtype=np.int64)
+        lens = np.diff(Ac.col_ptr)[clusters]
+        take = _concat_ranges(Ac.col_ptr[clusters], lens)
+        ks = Ac.cols[take]
+    return b_row_sequence_trace(ks, layout)

@@ -1,0 +1,22 @@
+"""Synthetic SuiteSparse-analog matrix suite, generators, perturbations
+and MatrixMarket I/O (DESIGN.md §2's dataset substitution)."""
+
+from . import generators
+from .mmio import read_matrix_market, write_matrix_market
+from .perturb import scramble, scramble_partial
+from .suite import REPRESENTATIVE, SUITE, TALLSKINNY, SuiteEntry, get_entry, get_matrix, suite_names
+
+__all__ = [
+    "generators",
+    "read_matrix_market",
+    "write_matrix_market",
+    "scramble",
+    "scramble_partial",
+    "SUITE",
+    "SuiteEntry",
+    "REPRESENTATIVE",
+    "TALLSKINNY",
+    "get_entry",
+    "get_matrix",
+    "suite_names",
+]

@@ -1,0 +1,374 @@
+"""Synthetic sparse-matrix generators — the SuiteSparse-analog substrate.
+
+The paper evaluates on 110 SuiteSparse matrices spanning FEM meshes,
+lattice QCD, proteins, CFD, road networks, web/social graphs, citation
+networks and KKT systems.  These generators produce seeded synthetic
+matrices of the same *structural classes* (see DESIGN.md §2 for why the
+class, not the instance, is what drives reordering/clustering behaviour).
+
+Every generator returns a canonical :class:`CSRMatrix` with values drawn
+uniformly from ``[0.5, 1.5]`` (SpGEMM cost is pattern-driven; values only
+need to be generic nonzeros).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.coo import COOMatrix
+from ..core.csr import CSRMatrix
+
+__all__ = [
+    "grid2d",
+    "grid3d",
+    "triangular_mesh",
+    "banded_random",
+    "block_diagonal",
+    "rmat",
+    "erdos_renyi",
+    "road_network",
+    "cage_like",
+    "qcd_lattice",
+    "kkt_system",
+    "citation_graph",
+    "web_graph",
+]
+
+
+def _finish(rows, cols, n, ncols=None, *, seed: int, symmetrize: bool = False) -> CSRMatrix:
+    """Assemble triplets into a canonical CSR with generic values."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    m = n if ncols is None else ncols
+    if symmetrize:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    vals = rng.uniform(0.5, 1.5, size=rows.size)
+    coo = COOMatrix(rows, cols, vals, (n, m)).canonicalize(sum_duplicates=True)
+    # Re-randomise summed duplicates so values stay in a generic range.
+    coo.values[:] = rng.uniform(0.5, 1.5, size=coo.values.size)
+    return CSRMatrix.from_coo(coo, sum_duplicates=False)
+
+
+# ----------------------------------------------------------------------
+# Mesh / PDE families (AS365, M6, NLR, hugetric analogs; poi3D)
+# ----------------------------------------------------------------------
+def grid2d(nx: int, ny: int, *, stencil: int = 5, seed: int = 0) -> CSRMatrix:
+    """2-D structured grid with a 5- or 9-point stencil (Poisson-style)."""
+    if stencil not in (5, 9):
+        raise ValueError("stencil must be 5 or 9")
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(ny, nx)
+    pairs = [idx.ravel()], [idx.ravel()]  # diagonal
+    offsets = [(0, 1), (1, 0)]
+    if stencil == 9:
+        offsets += [(1, 1), (1, -1)]
+    for dy, dx in offsets:
+        src = idx[max(0, -dy) : ny - max(0, dy), max(0, -dx) : nx - max(0, dx)]
+        dst = idx[max(0, dy) : ny + min(0, dy), max(0, dx) : nx + min(0, dx)]
+        pairs[0].append(src.ravel())
+        pairs[1].append(dst.ravel())
+        pairs[0].append(dst.ravel())
+        pairs[1].append(src.ravel())
+    return _finish(np.concatenate(pairs[0]), np.concatenate(pairs[1]), nx * ny, seed=seed)
+
+
+def grid3d(nx: int, ny: int, nz: int, *, stencil: int = 7, seed: int = 0) -> CSRMatrix:
+    """3-D structured grid (poi3D analog).
+
+    ``stencil=7`` is the finite-difference Laplacian; ``stencil=27``
+    couples the full 3×3×3 neighbourhood — the FEM (hexahedral element)
+    pattern, whose neighbouring rows share most of their columns (the
+    similarity structure real poisson3Da-class matrices have).
+    """
+    if stencil not in (7, 27):
+        raise ValueError("stencil must be 7 or 27")
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nz, ny, nx)
+    r = [idx.ravel()]
+    c = [idx.ravel()]
+    if stencil == 7:
+        offsets = [(0, 0, 1), (0, 1, 0), (1, 0, 0)]
+    else:
+        offsets = [
+            (dz, dy, dx)
+            for dz in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            for dx in (-1, 0, 1)
+            if (dz, dy, dx) > (0, 0, 0)  # half-space; mirrored below
+        ]
+    for dz, dy, dx in offsets:
+        src = idx[
+            max(0, -dz) : nz - max(0, dz),
+            max(0, -dy) : ny - max(0, dy),
+            max(0, -dx) : nx - max(0, dx),
+        ].ravel()
+        dst = idx[
+            max(0, dz) : nz + min(0, dz),
+            max(0, dy) : ny + min(0, dy),
+            max(0, dx) : nx + min(0, dx),
+        ].ravel()
+        r += [src, dst]
+        c += [dst, src]
+    return _finish(np.concatenate(r), np.concatenate(c), nx * ny * nz, seed=seed)
+
+
+def triangular_mesh(nx: int, ny: int, *, seed: int = 0) -> CSRMatrix:
+    """Unstructured-flavoured triangular mesh (M6 / NLR / AS365 analogs).
+
+    A structured triangulation of a rectangle whose interior vertices are
+    randomly relabelled *locally* (within small patches) to mimic the
+    mildly irregular orderings of real airfoil meshes, which are good —
+    but not perfect — natural orders.
+    """
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(ny, nx)
+    r: list[np.ndarray] = [idx.ravel()]
+    c: list[np.ndarray] = [idx.ravel()]
+    for dy, dx in [(0, 1), (1, 0), (1, 1)]:  # right, down, down-right diagonal
+        src = idx[: ny - dy, : nx - dx].ravel()
+        dst = idx[dy:, dx:].ravel()
+        r += [src, dst]
+        c += [dst, src]
+    A = _finish(np.concatenate(r), np.concatenate(c), nx * ny, seed=seed)
+    # Local patch shuffles (patch size 16) — preserves global banding.
+    rng = np.random.default_rng(seed)
+    n = nx * ny
+    perm = np.arange(n, dtype=np.int64)
+    for lo in range(0, n, 16):
+        hi = min(lo + 16, n)
+        perm[lo:hi] = lo + rng.permutation(hi - lo)
+    return A.permute_symmetric(perm)
+
+
+# ----------------------------------------------------------------------
+# Engineering / science families
+# ----------------------------------------------------------------------
+def banded_random(n: int, *, bandwidth: int = 16, fill: float = 0.4, group: int = 4, seed: int = 0) -> CSRMatrix:
+    """Banded matrix with random in-band fill (CFD-style, rma10 analog).
+
+    ``group`` consecutive rows share one in-band column pattern — real CFD
+    matrices couple several unknowns per mesh cell (rma10 has ~3 dofs per
+    node), which is what makes consecutive rows nearly identical and
+    cluster-friendly (paper §3.2).
+    """
+    rng = np.random.default_rng(seed)
+    group = max(1, group)
+    per_row = max(1, int(bandwidth * 2 * fill))
+    r_parts: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
+    c_parts: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
+    for lo in range(0, n, group):
+        hi = min(lo + group, n)
+        offs = rng.integers(-bandwidth, bandwidth + 1, size=per_row)
+        cols = np.unique(np.clip(lo + offs, 0, n - 1))
+        for r in range(lo, hi):
+            r_parts.append(np.full(cols.size, r, dtype=np.int64))
+            c_parts.append(cols)
+    return _finish(np.concatenate(r_parts), np.concatenate(c_parts), n, seed=seed, symmetrize=True)
+
+
+def block_diagonal(
+    nblocks: int,
+    block_size: int,
+    *,
+    density: float = 0.5,
+    coupling: float = 0.01,
+    group: int = 4,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Dense diagonal blocks + weak random coupling (pdb1HYS analog).
+
+    Protein and optimisation matrices exhibit exactly this structure
+    (paper §3.2 motivates fixed-length clustering with it).  Within a
+    block, ``group`` consecutive rows share one column pattern — the
+    multiple-dofs-per-atom structure that makes consecutive rows of real
+    protein matrices nearly identical.
+    """
+    rng = np.random.default_rng(seed)
+    n = nblocks * block_size
+    group = max(1, group)
+    r_parts: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
+    c_parts: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
+    per_pattern = max(1, int(density * block_size))
+    for b in range(nblocks):
+        base = b * block_size
+        for lo in range(0, block_size, group):
+            hi = min(lo + group, block_size)
+            cols = base + np.unique(rng.integers(0, block_size, size=per_pattern))
+            for r in range(base + lo, base + hi):
+                r_parts.append(np.full(cols.size, r, dtype=np.int64))
+                c_parts.append(cols)
+    n_coupling = int(coupling * n * 4)
+    if n_coupling:
+        r_parts.append(rng.integers(0, n, size=n_coupling))
+        c_parts.append(rng.integers(0, n, size=n_coupling))
+    return _finish(np.concatenate(r_parts), np.concatenate(c_parts), n, seed=seed, symmetrize=True)
+
+
+def cage_like(n: int, *, seed: int = 0) -> CSRMatrix:
+    """DNA-electrophoresis-style matrix (cage12 analog): a narrow
+    structured band plus moderate mid-range off-diagonals from the
+    state-transition couplings."""
+    rng = np.random.default_rng(seed)
+    rows = [np.arange(n, dtype=np.int64)]
+    cols = [np.arange(n, dtype=np.int64)]
+    for off in (1, 2, 3):
+        rows.append(np.arange(n - off, dtype=np.int64))
+        cols.append(np.arange(off, n, dtype=np.int64))
+    extra = int(2.5 * n)
+    r = rng.integers(0, n, size=extra)
+    jump = rng.integers(4, max(5, n // 50), size=extra)
+    c = np.clip(r + jump * rng.choice([-1, 1], size=extra), 0, n - 1)
+    rows.append(r)
+    cols.append(c)
+    return _finish(np.concatenate(rows), np.concatenate(cols), n, seed=seed, symmetrize=True)
+
+
+def qcd_lattice(dim: int = 6, *, dofs: int = 3, seed: int = 0) -> CSRMatrix:
+    """Lattice-QCD-style operator (conf5_4-8x8 analog): a 4-D periodic
+    torus of side ``dim`` with ``dofs`` coupled degrees of freedom per
+    site — dense small blocks on a regular stencil."""
+    sites = dim**4
+    n = sites * dofs
+    coord = np.arange(sites, dtype=np.int64)
+    c4 = np.stack(np.unravel_index(coord, (dim, dim, dim, dim)), axis=1)
+    r_parts: list[np.ndarray] = []
+    c_parts: list[np.ndarray] = []
+    site_block = (np.arange(dofs).repeat(dofs), np.tile(np.arange(dofs), dofs))
+    # On-site dense dof blocks.
+    r_parts.append((coord[:, None] * dofs + site_block[0][None, :]).ravel())
+    c_parts.append((coord[:, None] * dofs + site_block[1][None, :]).ravel())
+    for axis in range(4):
+        nb = c4.copy()
+        nb[:, axis] = (nb[:, axis] + 1) % dim
+        nbr = np.ravel_multi_index((nb[:, 0], nb[:, 1], nb[:, 2], nb[:, 3]), (dim, dim, dim, dim))
+        r_parts.append((coord[:, None] * dofs + site_block[0][None, :]).ravel())
+        c_parts.append((nbr[:, None] * dofs + site_block[1][None, :]).ravel())
+    return _finish(np.concatenate(r_parts), np.concatenate(c_parts), n, seed=seed, symmetrize=True)
+
+
+def kkt_system(m_rows: int, n_vars: int, *, seed: int = 0) -> CSRMatrix:
+    """KKT saddle-point matrix ``[[H, Aᵀ], [A, 0]]`` (kkt_power analog)."""
+    rng = np.random.default_rng(seed)
+    n = n_vars + m_rows
+    # H: banded SPD-ish block.
+    hr = [np.arange(n_vars, dtype=np.int64)]
+    hc = [np.arange(n_vars, dtype=np.int64)]
+    for off in (1, 2):
+        hr.append(np.arange(n_vars - off, dtype=np.int64))
+        hc.append(np.arange(off, n_vars, dtype=np.int64))
+        hr.append(np.arange(off, n_vars, dtype=np.int64))
+        hc.append(np.arange(n_vars - off, dtype=np.int64))
+    # A: each constraint touches a few scattered variables.
+    per_con = 4
+    ar = np.repeat(np.arange(m_rows, dtype=np.int64), per_con) + n_vars
+    ac = rng.integers(0, n_vars, size=m_rows * per_con)
+    rows = np.concatenate(hr + [ar, ac])
+    cols = np.concatenate(hc + [ac, ar])
+    return _finish(rows, cols, n, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Graph families
+# ----------------------------------------------------------------------
+def rmat(scale: int, *, edge_factor: int = 8, a: float = 0.57, b: float = 0.19, c: float = 0.19, seed: int = 0) -> CSRMatrix:
+    """R-MAT power-law graph (Graph500 parameters by default) — the
+    web/social family (wb, com-LiveJournal, wikipedia analogs)."""
+    n = 1 << scale
+    nedges = n * edge_factor
+    rng = np.random.default_rng(seed)
+    rows = np.zeros(nedges, dtype=np.int64)
+    cols = np.zeros(nedges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(nedges)
+        # Quadrant probabilities (a | b / c | d).
+        go_right = r >= a + c  # col bit set
+        go_down = ((r >= a) & (r < a + c)) | (r >= a + b + c)  # row bit set
+        rows |= go_down.astype(np.int64) << bit
+        cols |= go_right.astype(np.int64) << bit
+    keep = rows != cols
+    return _finish(rows[keep], cols[keep], n, seed=seed, symmetrize=True)
+
+
+def erdos_renyi(n: int, *, avg_degree: float = 8.0, seed: int = 0) -> CSRMatrix:
+    """Uniform random graph — the structureless control family."""
+    rng = np.random.default_rng(seed)
+    nedges = int(n * avg_degree / 2)
+    rows = rng.integers(0, n, size=nedges)
+    cols = rng.integers(0, n, size=nedges)
+    keep = rows != cols
+    return _finish(rows[keep], cols[keep], n, seed=seed, symmetrize=True)
+
+
+def road_network(n: int, *, shortcut_ratio: float = 0.05, seed: int = 0) -> CSRMatrix:
+    """High-diameter, low-degree planar-ish graph (europe_osm / GAP-road
+    analogs): a jittered grid with a few shortcut edges."""
+    side = int(np.ceil(np.sqrt(n)))
+    m = side * side
+    idx = np.arange(m, dtype=np.int64).reshape(side, side)
+    r = [idx[:, :-1].ravel(), idx[:-1, :].ravel()]
+    c = [idx[:, 1:].ravel(), idx[1:, :].ravel()]
+    rng = np.random.default_rng(seed)
+    # Delete ~20% of grid edges (road networks are not full grids)…
+    rows = np.concatenate(r)
+    cols = np.concatenate(c)
+    keep = rng.random(rows.size) > 0.2
+    rows, cols = rows[keep], cols[keep]
+    # …and add a few long shortcuts (highways).
+    ns = int(shortcut_ratio * m)
+    rows = np.concatenate([rows, rng.integers(0, m, size=ns)])
+    cols = np.concatenate([cols, rng.integers(0, m, size=ns)])
+    sel = rows != cols
+    # The generated graph has side² vertices (n rounded up to a square —
+    # road networks need the 2-D embedding to be meaningful).
+    return _finish(rows[sel], cols[sel], m, seed=seed, symmetrize=True)
+
+
+def citation_graph(n: int, *, avg_out: int = 6, locality: float = 0.7, seed: int = 0) -> CSRMatrix:
+    """Citation-DAG-style matrix (patents_main analog): edges mostly point
+    to *recent* earlier nodes (temporal locality), with a power-law tail
+    of older citations."""
+    rng = np.random.default_rng(seed)
+    src = np.repeat(np.arange(1, n, dtype=np.int64), avg_out)
+    recent = rng.geometric(p=0.05, size=src.size)
+    old = (src * rng.random(size=src.size)).astype(np.int64)
+    use_recent = rng.random(src.size) < locality
+    dst = np.where(use_recent, np.maximum(src - recent, 0), old)
+    keep = dst < src
+    return _finish(src[keep], dst[keep], n, seed=seed)
+
+
+def web_graph(n: int, *, seed: int = 0) -> CSRMatrix:
+    """Web-crawl-style graph (webbase analog): host-level clusters plus
+    power-law cross-host links.
+
+    Pages of one host share a *template* link set (navigation menus and
+    footers link every page to the same host pages) — the near-duplicate
+    row structure that makes similarity clustering shine on real web
+    matrices — plus a couple of page-specific links each.
+    """
+    rng = np.random.default_rng(seed)
+    r_parts: list[np.ndarray] = []
+    c_parts: list[np.ndarray] = []
+    lo = 0
+    while lo < n:
+        size = int(rng.integers(4, 40))
+        hi = min(lo + size, n)
+        k = hi - lo
+        # Shared template: every page of the host links these host pages.
+        template = lo + np.unique(rng.integers(0, k, size=max(2, k // 3)))
+        for page in range(lo, hi):
+            r_parts.append(np.full(template.size, page, dtype=np.int64))
+            c_parts.append(template)
+        # Page-specific intra-host links.
+        extra = k * 1
+        r_parts.append(lo + rng.integers(0, k, size=extra))
+        c_parts.append(lo + rng.integers(0, k, size=extra))
+        lo = hi
+    # Cross-host power-law links: preferential attachment to low ids.
+    nx_ = n * 1
+    src = rng.integers(0, n, size=nx_)
+    dst = (n * rng.power(0.25, size=nx_)).astype(np.int64) % n
+    r_parts.append(src)
+    c_parts.append(dst)
+    rows = np.concatenate(r_parts)
+    cols = np.concatenate(c_parts)
+    keep = rows != cols
+    return _finish(rows[keep], cols[keep], n, seed=seed)

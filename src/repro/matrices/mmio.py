@@ -1,0 +1,105 @@
+"""MatrixMarket I/O (coordinate format).
+
+SuiteSparse distributes matrices as ``.mtx`` files; this module lets the
+library ingest real SuiteSparse downloads when available and export the
+synthetic suite for external tools.  Supports the coordinate format with
+``real`` / ``integer`` / ``pattern`` fields and ``general`` / ``symmetric``
+/ ``skew-symmetric`` symmetries (the combinations SuiteSparse uses for
+the paper's matrix classes).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..core.coo import COOMatrix
+from ..core.csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_FIELDS = {"real", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def read_matrix_market(path_or_file) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into a canonical CSR matrix."""
+    if hasattr(path_or_file, "read"):
+        text = path_or_file.read()
+    else:
+        text = Path(path_or_file).read_text()
+    lines = io.StringIO(text)
+
+    header = lines.readline().strip().lower().split()
+    if len(header) < 5 or header[0] != "%%matrixmarket" or header[1] != "matrix":
+        raise ValueError(f"not a MatrixMarket file: header {header!r}")
+    fmt, field, symmetry = header[2], header[3], header[4]
+    if fmt != "coordinate":
+        raise ValueError(f"only coordinate format supported, got {fmt!r}")
+    if field not in _FIELDS:
+        raise ValueError(f"unsupported field {field!r} (supported: {sorted(_FIELDS)})")
+    if symmetry not in _SYMMETRIES:
+        raise ValueError(f"unsupported symmetry {symmetry!r} (supported: {sorted(_SYMMETRIES)})")
+
+    # Skip comments, read size line.
+    for line in lines:
+        s = line.strip()
+        if s and not s.startswith("%"):
+            break
+    else:
+        raise ValueError("missing size line")
+    nrows, ncols, nnz = (int(t) for t in s.split())
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.ones(nnz, dtype=np.float64)
+    k = 0
+    for line in lines:
+        s = line.strip()
+        if not s or s.startswith("%"):
+            continue
+        parts = s.split()
+        rows[k] = int(parts[0]) - 1  # 1-based on disk
+        cols[k] = int(parts[1]) - 1
+        if field != "pattern":
+            vals[k] = float(parts[2])
+        k += 1
+    if k != nnz:
+        raise ValueError(f"expected {nnz} entries, found {k}")
+
+    if symmetry == "general":
+        r, c, v = rows, cols, vals
+    else:
+        # Mirror strictly-off-diagonal entries (negated for skew).
+        off = rows != cols
+        mirrored = -vals[off] if symmetry == "skew-symmetric" else vals[off]
+        r = np.concatenate([rows, cols[off]])
+        c = np.concatenate([cols, rows[off]])
+        v = np.concatenate([vals, mirrored])
+    return CSRMatrix.from_coo(COOMatrix(r, c, v, (nrows, ncols)))
+
+
+def write_matrix_market(A: CSRMatrix, path_or_file, *, field: str = "real", comment: str | None = None) -> None:
+    """Write ``A`` as a MatrixMarket coordinate/general file."""
+    if field not in ("real", "pattern"):
+        raise ValueError(f"unsupported field {field!r}")
+    coo = A.to_coo()
+    buf = io.StringIO()
+    buf.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+    if comment:
+        for line in comment.splitlines():
+            buf.write(f"% {line}\n")
+    buf.write(f"{A.nrows} {A.ncols} {A.nnz}\n")
+    if field == "real":
+        for r, c, v in zip(coo.rows.tolist(), coo.cols.tolist(), coo.values.tolist()):
+            buf.write(f"{r + 1} {c + 1} {v!r}\n")
+    else:
+        for r, c in zip(coo.rows.tolist(), coo.cols.tolist()):
+            buf.write(f"{r + 1} {c + 1}\n")
+    text = buf.getvalue()
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        Path(path_or_file).write_text(text)

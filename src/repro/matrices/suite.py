@@ -1,0 +1,285 @@
+"""The evaluation matrix suite — 110 named synthetic SuiteSparse analogs.
+
+The paper evaluates on 110 SuiteSparse matrices.  This registry holds 110
+seeded synthetic instances spanning the same structural families (see
+:mod:`repro.matrices.generators` and DESIGN.md §2), including named
+analogs of every matrix the paper calls out by name:
+
+* Fig. 8/9 representative set: ``cage12, poi3D, conf5, pdb1, rma10, wb,
+  AS365, huget, M6, NLR``.
+* Table 3/4 tall-skinny set: ``webbase-1M, patents_main, AS365,
+  com-LiveJournal, europe_osm, GAP-road, kkt_power, M6, NLR,
+  wikipedia-20070206``.
+
+Instances are scaled down (n ≈ 0.5k–8k) so the pure-Python pipeline can
+sweep all of them; cache capacity in :mod:`repro.machine` is scaled
+correspondingly (DESIGN.md).  ``scrambled`` entries carry a hidden random
+symmetric permutation, reproducing the spectrum from well-ordered meshes
+to arbitrarily-ordered crawled graphs.
+
+Subsets
+-------
+``suite_names("representative")`` → the 10 Fig. 8/9 matrices;
+``suite_names("tallskinny")`` → the 10 Table 3/4 matrices;
+``suite_names("standard")`` → a 39-matrix cross-family subset used by the
+default benchmark runs; ``suite_names("full")`` → all 110.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+from ..core.csr import CSRMatrix
+from . import generators as G
+from .perturb import scramble, scramble_partial
+
+__all__ = ["SuiteEntry", "get_matrix", "get_entry", "suite_names", "SUITE", "REPRESENTATIVE", "TALLSKINNY"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One suite matrix: how to build it + metadata."""
+
+    name: str
+    family: str
+    builder: Callable[[], CSRMatrix]
+    scrambled: bool = False
+    analog_of: str | None = None
+    tags: tuple = field(default_factory=tuple)
+
+
+SUITE: dict[str, SuiteEntry] = {}
+
+
+def _add(name: str, family: str, builder: Callable[[], CSRMatrix], *, scrambled: bool = False, analog_of: str | None = None, tags: tuple = ()) -> None:
+    if name in SUITE:
+        raise ValueError(f"duplicate suite entry {name!r}")
+    SUITE[name] = SuiteEntry(name, family, builder, scrambled, analog_of, tags)
+
+
+def _scrambled(build: Callable[[], CSRMatrix], seed: int) -> Callable[[], CSRMatrix]:
+    return lambda: scramble(build(), seed=seed)
+
+
+def _partial(build: Callable[[], CSRMatrix], seed: int, fraction: float = 0.35) -> Callable[[], CSRMatrix]:
+    return lambda: scramble_partial(build(), fraction=fraction, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Named analogs — representative set (paper Figs. 8 & 9)
+# ----------------------------------------------------------------------
+_add("cage12", "cage", lambda: G.cage_like(4000, seed=12), analog_of="cage12 (DNA electrophoresis)", tags=("representative",))
+_add("poi3D", "grid3d", lambda: G.grid3d(14, 14, 14, stencil=27, seed=3), analog_of="poisson3Da (3D FEM)", tags=("representative",))
+_add("conf5", "qcd", lambda: G.qcd_lattice(7, dofs=3, seed=5), analog_of="conf5_4-8x8-05 (lattice QCD)", tags=("representative",))
+_add("pdb1", "blockdiag", lambda: G.block_diagonal(60, 24, density=0.45, coupling=0.02, seed=1), analog_of="pdb1HYS (protein)", tags=("representative",))
+_add("rma10", "banded", lambda: G.banded_random(3200, bandwidth=24, fill=0.35, seed=10), analog_of="rma10 (3D CFD harbor)", tags=("representative",))
+_add("wb", "web", _scrambled(lambda: G.web_graph(3600, seed=7), 70), scrambled=True, analog_of="webbase (web crawl)", tags=("representative",))
+_add("AS365", "trimesh", _partial(lambda: G.triangular_mesh(70, 56, seed=36), 36, 0.45), scrambled=True, analog_of="AS365 (2D airfoil mesh)", tags=("representative", "tallskinny"))
+_add("huget", "trimesh", _partial(lambda: G.triangular_mesh(90, 72, seed=42), 42, 0.5), scrambled=True, analog_of="hugetric/hugetrace (DIMACS10 mesh)", tags=("representative",))
+_add("M6", "trimesh", _partial(lambda: G.triangular_mesh(80, 64, seed=6), 6, 0.45), scrambled=True, analog_of="M6 (2D mesh)", tags=("representative", "tallskinny"))
+_add("NLR", "trimesh", _partial(lambda: G.triangular_mesh(84, 68, seed=9), 9, 0.5), scrambled=True, analog_of="NLR (2D mesh)", tags=("representative", "tallskinny"))
+
+# ----------------------------------------------------------------------
+# Named analogs — tall-skinny set (paper Tables 3 & 4)
+# ----------------------------------------------------------------------
+_add("webbase-1M", "web", _scrambled(lambda: G.web_graph(4200, seed=17), 71), scrambled=True, analog_of="webbase-1M", tags=("tallskinny",))
+_add("patents_main", "citation", lambda: G.citation_graph(4800, avg_out=5, seed=19), analog_of="patents_main", tags=("tallskinny",))
+_add("com-LiveJournal", "rmat", _scrambled(lambda: G.rmat(12, edge_factor=10, seed=23), 72), scrambled=True, analog_of="com-LiveJournal", tags=("tallskinny",))
+_add("europe_osm", "road", _partial(lambda: G.road_network(4900, seed=29), 29, 0.4), scrambled=True, analog_of="europe_osm", tags=("tallskinny",))
+_add("GAP-road", "road", _scrambled(lambda: G.road_network(4356, seed=31), 73), scrambled=True, analog_of="GAP-road", tags=("tallskinny",))
+_add("kkt_power", "kkt", _partial(lambda: G.kkt_system(1600, 3200, seed=37), 37, 0.5), scrambled=True, analog_of="kkt_power", tags=("tallskinny",))
+_add("wikipedia-20070206", "rmat", _scrambled(lambda: G.rmat(12, edge_factor=8, a=0.6, seed=41), 74), scrambled=True, analog_of="wikipedia-20070206", tags=("tallskinny",))
+
+# ----------------------------------------------------------------------
+# Family sweeps (93 further instances → 110 total)
+# ----------------------------------------------------------------------
+# Meshes in natural order — reordering should barely help (paper's
+# observation on the first six representative datasets).
+for i, (nx, ny) in enumerate([(40, 30), (56, 40), (64, 50), (90, 60), (48, 48)]):
+    _add(f"grid2d_5pt_{i}", "grid2d", (lambda nx=nx, ny=ny, i=i: G.grid2d(nx, ny, stencil=5, seed=i)), tags=("mesh",))
+for i, (nx, ny) in enumerate([(36, 28), (52, 36), (60, 48), (84, 56)]):
+    _add(f"grid2d_9pt_{i}", "grid2d", (lambda nx=nx, ny=ny, i=i: G.grid2d(nx, ny, stencil=9, seed=10 + i)), tags=("mesh",))
+for i, (nx, ny, nz, st) in enumerate([(9, 9, 9, 7), (11, 11, 11, 27), (13, 12, 12, 7), (16, 14, 12, 27)]):
+    _add(f"grid3d_{i}", "grid3d", (lambda nx=nx, ny=ny, nz=nz, st=st, i=i: G.grid3d(nx, ny, nz, stencil=st, seed=20 + i)), tags=("mesh",))
+for i, (nx, ny) in enumerate([(44, 36), (60, 44), (72, 56)]):
+    _add(f"trimesh_{i}", "trimesh", (lambda nx=nx, ny=ny, i=i: G.triangular_mesh(nx, ny, seed=30 + i)), tags=("mesh",))
+
+# Scrambled meshes — reordering must *recover* the order (big wins).
+for i, (nx, ny) in enumerate([(48, 36), (64, 44), (80, 56)]):
+    _add(f"grid2d_scr_{i}", "grid2d", _scrambled((lambda nx=nx, ny=ny, i=i: G.grid2d(nx, ny, stencil=9, seed=40 + i)), 80 + i), scrambled=True, tags=("mesh",))
+for i, (nx, ny, nz) in enumerate([(10, 10, 10), (13, 12, 11)]):
+    _add(f"grid3d_scr_{i}", "grid3d", _scrambled((lambda nx=nx, ny=ny, nz=nz, i=i: G.grid3d(nx, ny, nz, seed=50 + i)), 90 + i), scrambled=True, tags=("mesh",))
+for i, (nx, ny) in enumerate([(52, 40), (68, 52), (90, 64)]):
+    _add(f"trimesh_scr_{i}", "trimesh", _scrambled((lambda nx=nx, ny=ny, i=i: G.triangular_mesh(nx, ny, seed=60 + i)), 100 + i), scrambled=True, tags=("mesh",))
+
+# Banded / CFD, natural and partially scrambled.
+for i, (n, bw) in enumerate([(1500, 12), (2400, 20), (3600, 28), (4800, 16)]):
+    _add(f"banded_{i}", "banded", (lambda n=n, bw=bw, i=i: G.banded_random(n, bandwidth=bw, fill=0.4, seed=70 + i)), tags=("engineering",))
+for i, (n, bw) in enumerate([(2000, 16), (3200, 24)]):
+    _add(f"banded_scr_{i}", "banded", _scrambled((lambda n=n, bw=bw, i=i: G.banded_random(n, bandwidth=bw, fill=0.4, seed=80 + i)), 110 + i), scrambled=True, tags=("engineering",))
+
+# Block-diagonal (protein / optimisation).
+for i, (nb, bs, dens) in enumerate([(40, 16, 0.5), (64, 20, 0.4), (96, 24, 0.3), (48, 32, 0.35)]):
+    _add(f"blockdiag_{i}", "blockdiag", (lambda nb=nb, bs=bs, dens=dens, i=i: G.block_diagonal(nb, bs, density=dens, coupling=0.015, seed=90 + i)), tags=("engineering",))
+for i, (nb, bs) in enumerate([(56, 18), (80, 22)]):
+    _add(f"blockdiag_scr_{i}", "blockdiag", _scrambled((lambda nb=nb, bs=bs, i=i: G.block_diagonal(nb, bs, density=0.45, coupling=0.015, seed=100 + i)), 120 + i), scrambled=True, tags=("engineering",))
+
+# Cage / QCD / KKT.
+for i, n in enumerate([1800, 2600, 3400]):
+    _add(f"cage_{i}", "cage", (lambda n=n, i=i: G.cage_like(n, seed=110 + i)), tags=("engineering",))
+for i, (dim, dofs) in enumerate([(6, 3), (7, 2), (6, 4)]):
+    _add(f"qcd_{i}", "qcd", (lambda dim=dim, dofs=dofs, i=i: G.qcd_lattice(dim, dofs=dofs, seed=120 + i)), tags=("engineering",))
+for i, (m, nv) in enumerate([(800, 1600), (1200, 2400), (1800, 3600)]):
+    _add(f"kkt_{i}", "kkt", (lambda m=m, nv=nv, i=i: G.kkt_system(m, nv, seed=130 + i)), tags=("engineering",))
+for i, (m, nv) in enumerate([(1000, 2000), (1500, 3000)]):
+    _add(f"kkt_scr_{i}", "kkt", _scrambled((lambda m=m, nv=nv, i=i: G.kkt_system(m, nv, seed=140 + i)), 130 + i), scrambled=True, tags=("engineering",))
+
+# Power-law graphs (R-MAT) — several scales and skews.
+for i, (scale, ef) in enumerate([(10, 8), (11, 8), (12, 6), (11, 12), (12, 10)]):
+    _add(f"rmat_{i}", "rmat", (lambda s=scale, ef=ef, i=i: G.rmat(s, edge_factor=ef, seed=150 + i)), tags=("graph",))
+for i, (scale, ef, a) in enumerate([(11, 8, 0.65), (12, 8, 0.52)]):
+    _add(f"rmat_skew_{i}", "rmat", (lambda s=scale, ef=ef, a=a, i=i: G.rmat(s, edge_factor=ef, a=a, b=(1 - a) / 3, c=(1 - a) / 3, seed=160 + i)), tags=("graph",))
+
+# Web graphs: natural host-cluster order, and scrambled.
+for i, n in enumerate([2400, 3600, 5200]):
+    _add(f"web_{i}", "web", (lambda n=n, i=i: G.web_graph(n, seed=170 + i)), tags=("graph",))
+for i, n in enumerate([3000, 4400]):
+    _add(f"web_scr_{i}", "web", _scrambled((lambda n=n, i=i: G.web_graph(n, seed=180 + i)), 150 + i), scrambled=True, tags=("graph",))
+
+# Road networks.
+for i, n in enumerate([2500, 3600, 4900]):
+    _add(f"road_{i}", "road", (lambda n=n, i=i: G.road_network(n, seed=190 + i)), tags=("graph",))
+for i, n in enumerate([3136, 4225]):
+    _add(f"road_scr_{i}", "road", _scrambled((lambda n=n, i=i: G.road_network(n, seed=200 + i)), 160 + i), scrambled=True, tags=("graph",))
+
+# Citation graphs.
+for i, n in enumerate([2800, 4200]):
+    _add(f"citation_{i}", "citation", (lambda n=n, i=i: G.citation_graph(n, seed=210 + i)), tags=("graph",))
+for i, n in enumerate([3400]):
+    _add(f"citation_scr_{i}", "citation", _scrambled((lambda n=n, i=i: G.citation_graph(n, seed=220 + i)), 170 + i), scrambled=True, tags=("graph",))
+
+# Erdős–Rényi controls (no structure to recover).
+for i, (n, d) in enumerate([(1800, 6.0), (2600, 8.0), (3600, 10.0)]):
+    _add(f"er_{i}", "er", (lambda n=n, d=d, i=i: G.erdos_renyi(n, avg_degree=d, seed=230 + i)), tags=("graph",))
+
+# Partially-scrambled mixed bag — the regime where clustering alone helps.
+for i, (nb, bs) in enumerate([(50, 20), (72, 16)]):
+    _add(f"blockdiag_part_{i}", "blockdiag", _partial((lambda nb=nb, bs=bs, i=i: G.block_diagonal(nb, bs, density=0.5, coupling=0.01, seed=240 + i)), 180 + i, 0.3), scrambled=True, tags=("engineering",))
+for i, (nx, ny) in enumerate([(60, 40), (76, 52)]):
+    _add(f"trimesh_part_{i}", "trimesh", _partial((lambda nx=nx, ny=ny, i=i: G.triangular_mesh(nx, ny, seed=250 + i)), 190 + i, 0.3), scrambled=True, tags=("mesh",))
+for i, n in enumerate([2200, 3000]):
+    _add(f"web_part_{i}", "web", _partial((lambda n=n, i=i: G.web_graph(n, seed=260 + i)), 200 + i, 0.3), scrambled=True, tags=("graph",))
+for i, n in enumerate([2000]):
+    _add(f"cage_scr_{i}", "cage", _scrambled((lambda n=n, i=i: G.cage_like(n, seed=270 + i)), 210 + i), scrambled=True, tags=("engineering",))
+
+# Additional size/seed diversity to reach the paper's 110.
+for i, (nx, ny) in enumerate([(100, 70), (110, 80)]):
+    _add(f"grid2d_xl_{i}", "grid2d", (lambda nx=nx, ny=ny, i=i: G.grid2d(nx, ny, stencil=9, seed=280 + i)), tags=("mesh",))
+for i, (scale, ef) in enumerate([(13, 5)]):
+    _add(f"rmat_xl_{i}", "rmat", (lambda s=scale, ef=ef, i=i: G.rmat(s, edge_factor=ef, seed=290 + i)), tags=("graph",))
+for i, n in enumerate([6400]):
+    _add(f"web_xl_{i}", "web", _scrambled((lambda n=n, i=i: G.web_graph(n, seed=300 + i)), 220 + i), scrambled=True, tags=("graph",))
+for i, n in enumerate([5800]):
+    _add(f"cage_xl_{i}", "cage", (lambda n=n, i=i: G.cage_like(n, seed=310 + i)), tags=("engineering",))
+for i, (nb, bs) in enumerate([(120, 20)]):
+    _add(f"blockdiag_xl_{i}", "blockdiag", (lambda nb=nb, bs=bs, i=i: G.block_diagonal(nb, bs, density=0.35, coupling=0.01, seed=320 + i)), tags=("engineering",))
+for i, (m, nv) in enumerate([(2400, 4800)]):
+    _add(f"kkt_xl_{i}", "kkt", _partial((lambda m=m, nv=nv, i=i: G.kkt_system(m, nv, seed=330 + i)), 230 + i, 0.4), scrambled=True, tags=("engineering",))
+for i, (dim, dofs) in enumerate([(8, 2)]):
+    _add(f"qcd_xl_{i}", "qcd", (lambda dim=dim, dofs=dofs, i=i: G.qcd_lattice(dim, dofs=dofs, seed=340 + i)), tags=("engineering",))
+for i, n in enumerate([5625]):
+    _add(f"road_xl_{i}", "road", _scrambled((lambda n=n, i=i: G.road_network(n, seed=350 + i)), 240 + i), scrambled=True, tags=("graph",))
+for i, n in enumerate([5200]):
+    _add(f"citation_xl_{i}", "citation", (lambda n=n, i=i: G.citation_graph(n, seed=360 + i)), tags=("graph",))
+for i, (n, d) in enumerate([(4800, 7.0)]):
+    _add(f"er_xl_{i}", "er", (lambda n=n, d=d, i=i: G.erdos_renyi(n, avg_degree=d, seed=370 + i)), tags=("graph",))
+
+for i, (nx, ny) in enumerate([(70, 50)]):
+    _add(f"grid2d_scr_xl_{i}", "grid2d", _scrambled((lambda nx=nx, ny=ny, i=i: G.grid2d(nx, ny, stencil=5, seed=380 + i)), 250 + i), scrambled=True, tags=("mesh",))
+for i, (nb, bs) in enumerate([(36, 28)]):
+    _add(f"blockdiag_dense_{i}", "blockdiag", (lambda nb=nb, bs=bs, i=i: G.block_diagonal(nb, bs, density=0.6, coupling=0.02, seed=390 + i)), tags=("engineering",))
+for i, (scale, ef) in enumerate([(10, 16)]):
+    _add(f"rmat_dense_{i}", "rmat", _scrambled((lambda s=scale, ef=ef, i=i: G.rmat(s, edge_factor=ef, seed=400 + i)), 260 + i), scrambled=True, tags=("graph",))
+for i, n in enumerate([2800]):
+    _add(f"road_part_{i}", "road", _partial((lambda n=n, i=i: G.road_network(n, seed=410 + i)), 270 + i, 0.3), scrambled=True, tags=("graph",))
+for i, (n, bw) in enumerate([(2800, 40)]):
+    _add(f"banded_wide_{i}", "banded", (lambda n=n, bw=bw, i=i: G.banded_random(n, bandwidth=bw, fill=0.3, seed=420 + i)), tags=("engineering",))
+
+REPRESENTATIVE = ["cage12", "poi3D", "conf5", "pdb1", "rma10", "wb", "AS365", "huget", "M6", "NLR"]
+TALLSKINNY = [
+    "webbase-1M",
+    "patents_main",
+    "AS365",
+    "com-LiveJournal",
+    "europe_osm",
+    "GAP-road",
+    "kkt_power",
+    "M6",
+    "NLR",
+    "wikipedia-20070206",
+]
+
+#: Cross-family subset for the default (fast) benchmark runs.
+_STANDARD = (
+    REPRESENTATIVE
+    + [
+        "webbase-1M",
+        "patents_main",
+        "com-LiveJournal",
+        "europe_osm",
+        "GAP-road",
+        "kkt_power",
+        "wikipedia-20070206",
+        "grid2d_5pt_1",
+        "grid2d_scr_0",
+        "grid3d_1",
+        "grid3d_scr_0",
+        "trimesh_1",
+        "trimesh_scr_1",
+        "banded_1",
+        "banded_scr_0",
+        "blockdiag_1",
+        "blockdiag_scr_0",
+        "blockdiag_part_0",
+        "cage_1",
+        "qcd_0",
+        "kkt_1",
+        "rmat_1",
+        "rmat_skew_0",
+        "web_1",
+        "web_scr_0",
+        "road_1",
+        "road_scr_0",
+        "citation_0",
+        "er_1",
+    ]
+)
+
+
+def get_entry(name: str) -> SuiteEntry:
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise KeyError(f"unknown suite matrix {name!r}") from None
+
+
+@lru_cache(maxsize=32)
+def get_matrix(name: str) -> CSRMatrix:
+    """Build (and memoise) a suite matrix by name."""
+    return get_entry(name).builder()
+
+
+def suite_names(subset: str = "standard") -> list[str]:
+    """Names in a suite subset: ``representative`` (10), ``tallskinny``
+    (10), ``standard`` (36), or ``full`` (110)."""
+    if subset == "representative":
+        return list(REPRESENTATIVE)
+    if subset == "tallskinny":
+        return list(TALLSKINNY)
+    if subset == "standard":
+        return list(_STANDARD)
+    if subset == "full":
+        return list(SUITE)
+    raise ValueError(f"unknown subset {subset!r}")

@@ -1,0 +1,102 @@
+"""Approximate Minimum Degree (AMD) ordering — Amestoy, Davis & Duff [3].
+
+Fill-reducing ordering: repeatedly eliminate a vertex of (approximately)
+minimum degree in the *quotient graph*.  Eliminating ``v`` turns it into
+an *element* whose boundary ``L_v`` (its remaining neighbours, direct or
+through previously absorbed elements) becomes a clique; the quotient
+graph represents that clique implicitly, keeping memory linear.
+
+Degrees are *approximate* in the AMD sense: the external degree of a
+variable ``u`` is upper-bounded by ``|A_u| + Σ_{e ∈ E_u} |L_e|`` without
+subtracting overlaps — the approximation that makes AMD fast.  A lazy
+max-heap with stale-entry skipping drives the elimination.
+
+A work budget guards against pathological fill growth (documented in
+DESIGN.md): if the budget is exhausted the remaining vertices are
+appended in current-approximate-degree order.  On the suite's matrices
+the budget is never hit.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.csr import CSRMatrix
+from .base import ReorderingResult, register
+from .graph import Adjacency
+
+__all__ = ["amd_order"]
+
+
+@register("amd")
+def amd_order(A: CSRMatrix, *, seed: int = 0, work_budget: int = 50_000_000) -> ReorderingResult:
+    """Approximate minimum degree ordering (quotient-graph based)."""
+    adj = Adjacency.from_matrix(A)
+    n = A.nrows
+
+    # Quotient graph state: variable adjacency (A_i), element adjacency
+    # (E_i), and element boundaries (L_e).
+    var_adj: list[set[int]] = [set(adj.neighbors(v)[adj.neighbors(v) < n].tolist()) for v in range(n)]
+    elem_adj: list[set[int]] = [set() for _ in range(n)]
+    bound: dict[int, set[int]] = {}
+    eliminated = np.zeros(n, dtype=bool)
+    work = 0
+
+    def approx_degree(u: int) -> int:
+        d = len(var_adj[u])
+        for e in elem_adj[u]:
+            d += len(bound[e]) - 1  # exclude u itself
+        return d
+
+    heap: list[tuple[int, int]] = [(len(var_adj[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    current_deg = np.array([len(var_adj[v]) for v in range(n)], dtype=np.int64)
+
+    order: list[int] = []
+    budget_exceeded = False
+    while heap:
+        d, v = heapq.heappop(heap)
+        if eliminated[v]:
+            continue
+        if d != current_deg[v]:
+            continue  # stale heap entry
+        # Eliminate v: its boundary is A_v plus the boundaries of its elements.
+        Lv = set(var_adj[v])
+        for e in elem_adj[v]:
+            Lv |= bound[e]
+            work += len(bound[e])
+        Lv.discard(v)
+        Lv = {u for u in Lv if not eliminated[u]}
+        eliminated[v] = True
+        order.append(v)
+        bound[v] = Lv
+        absorbed = set(elem_adj[v])
+
+        for u in Lv:
+            # Variable adjacency loses v and anything now covered by element v.
+            var_adj[u] -= Lv
+            var_adj[u].discard(v)
+            # Element absorption: elements of v are swallowed by element v.
+            elem_adj[u] -= absorbed
+            elem_adj[u].add(v)
+            nd = approx_degree(u)
+            work += len(elem_adj[u]) + 1
+            current_deg[u] = nd
+            heapq.heappush(heap, (nd, u))
+        # Absorbed elements are dead.
+        for e in absorbed:
+            bound.pop(e, None)
+        work += len(Lv)
+        if work > work_budget:
+            budget_exceeded = True
+            break
+
+    if budget_exceeded:
+        rest = np.flatnonzero(~eliminated)
+        rest = rest[np.argsort(current_deg[rest], kind="stable")]
+        order.extend(rest.tolist())
+
+    perm = np.array(order, dtype=np.int64)
+    return ReorderingResult(perm, "amd", work=work, info={"budget_exceeded": budget_exceeded})

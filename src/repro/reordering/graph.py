@@ -1,0 +1,157 @@
+"""Graph utilities shared by the reordering algorithms.
+
+Vertex-ordering algorithms (RCM, AMD, ND, GP, Rabbit, SlashBurn…) operate
+on the *undirected graph of the matrix*: vertices are rows, with an edge
+``{i, j}`` when ``A[i,j] ≠ 0`` or ``A[j,i] ≠ 0`` (self-loops dropped).
+This module builds that adjacency structure and provides the BFS
+machinery (levels, pseudo-peripheral nodes, connected components) that
+several orderings share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.coo import COOMatrix
+from ..core.csr import CSRMatrix
+
+__all__ = ["Adjacency", "bfs_levels", "pseudo_peripheral_node", "connected_components"]
+
+
+@dataclass
+class Adjacency:
+    """Symmetric adjacency in CSR form (pattern only, no self-loops).
+
+    ``weights`` carries edge multiplicities — coarsened graphs in the
+    multilevel partitioner accumulate them.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    n: int
+
+    @classmethod
+    def from_matrix(cls, A: CSRMatrix) -> "Adjacency":
+        """Undirected graph of ``A`` (pattern of ``A + Aᵀ``, diagonal dropped)."""
+        row_of = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
+        mask = row_of != A.indices
+        n = max(A.nrows, A.ncols)
+        coo = COOMatrix(
+            np.concatenate([row_of[mask], A.indices[mask]]),
+            np.concatenate([A.indices[mask], row_of[mask]]),
+            np.ones(2 * int(mask.sum()), dtype=np.float64),
+            (n, n),
+        ).canonicalize()
+        # Pattern graph: an undirected edge has weight 1 regardless of
+        # whether A stores one or both directions (duplicates summed above).
+        coo.values[:] = np.minimum(coo.values, 1.0)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        counts = np.bincount(coo.rows, minlength=n)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, coo.cols, coo.values, n)
+
+    def degree(self) -> np.ndarray:
+        """Unweighted vertex degrees."""
+        return np.diff(self.indptr)
+
+    def weighted_degree(self) -> np.ndarray:
+        """Sum of incident edge weights per vertex."""
+        out = np.zeros(self.n, dtype=np.float64)
+        row_of = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        np.add.at(out, row_of, self.weights)
+        return out
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    @property
+    def nedges(self) -> int:
+        """Undirected edge count."""
+        return int(self.indices.size) // 2
+
+
+def bfs_levels(adj: Adjacency, start: int, *, mask: np.ndarray | None = None) -> np.ndarray:
+    """BFS level of every vertex reachable from ``start`` (-1 elsewhere).
+
+    ``mask`` optionally restricts traversal to a vertex subset (used when
+    ordering one connected component / partition at a time).
+    """
+    level = np.full(adj.n, -1, dtype=np.int64)
+    if mask is not None and not mask[start]:
+        return level
+    level[start] = 0
+    frontier = np.array([start], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        lens = np.diff(adj.indptr)[frontier]
+        nbrs = adj.indices[_take_ranges(adj.indptr[frontier], lens)]
+        cand = nbrs[level[nbrs] == -1]
+        if mask is not None:
+            cand = cand[mask[cand]]
+        if cand.size == 0:
+            break
+        frontier = np.unique(cand)
+        level[frontier] = depth
+    return level
+
+
+def pseudo_peripheral_node(adj: Adjacency, start: int, *, mask: np.ndarray | None = None, max_iter: int = 8) -> int:
+    """George–Liu pseudo-peripheral node finder (used to seed RCM).
+
+    Repeatedly BFS from the current candidate and jump to a minimum-degree
+    vertex of the deepest level until eccentricity stops growing.
+    """
+    deg = adj.degree()
+    current = start
+    last_ecc = -1
+    for _ in range(max_iter):
+        level = bfs_levels(adj, current, mask=mask)
+        reachable = level >= 0
+        if not reachable.any():
+            return current
+        ecc = int(level[reachable].max())
+        if ecc <= last_ecc:
+            return current
+        last_ecc = ecc
+        deepest = np.flatnonzero(level == ecc)
+        current = int(deepest[np.argmin(deg[deepest])])
+    return current
+
+
+def connected_components(adj: Adjacency, *, mask: np.ndarray | None = None) -> np.ndarray:
+    """Component label per vertex (-1 for vertices outside ``mask``).
+
+    Single shared-state sweep (no per-component allocations): scan for an
+    unlabelled active vertex, flood its component with a vectorised BFS,
+    repeat.
+    """
+    labels = np.full(adj.n, -1, dtype=np.int64)
+    active = np.ones(adj.n, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
+    todo = np.flatnonzero(active)
+    comp = 0
+    indptr, indices = adj.indptr, adj.indices
+    lens_all = np.diff(indptr)
+    for v in todo.tolist():
+        if labels[v] >= 0:
+            continue
+        labels[v] = comp
+        frontier = np.array([v], dtype=np.int64)
+        while frontier.size:
+            nbrs = indices[_take_ranges(indptr[frontier], lens_all[frontier])]
+            cand = nbrs[(labels[nbrs] == -1) & active[nbrs]]
+            if cand.size == 0:
+                break
+            frontier = np.unique(cand)
+            labels[frontier] = comp
+        comp += 1
+    return labels
+
+
+def _take_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    from ..core.csr import _concat_ranges
+
+    return _concat_ranges(starts, lens)

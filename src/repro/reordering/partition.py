@@ -1,0 +1,305 @@
+"""Multilevel graph bisection — the METIS-analog substrate (DESIGN.md §2).
+
+Implements the classical three-phase multilevel scheme of Karypis &
+Kumar [33]:
+
+1. **Coarsening** — heavy-edge matching collapses matched vertex pairs
+   until the graph is small (or matching stalls).
+2. **Initial partition** — greedy BFS region-growing from a
+   pseudo-peripheral vertex until half the vertex weight is absorbed.
+3. **Uncoarsening + refinement** — project the partition up one level at
+   a time, then run boundary Fiduccia–Mattheyses passes (single-vertex
+   moves by gain, balance-constrained) to reduce the edge cut.
+
+The partitioner powers both GP ordering (recursive bisection into k
+parts, rows sorted by part id) and nested dissection (separator
+extraction from the cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.coo import COOMatrix
+from .graph import Adjacency, pseudo_peripheral_node
+
+__all__ = ["bisect", "recursive_partition", "edge_cut", "BisectResult"]
+
+
+@dataclass
+class BisectResult:
+    """Outcome of one bisection: side (0/1) per vertex + diagnostics."""
+
+    side: np.ndarray
+    cut: float
+    work: int
+
+
+# ----------------------------------------------------------------------
+# Coarsening
+# ----------------------------------------------------------------------
+def _heavy_edge_matching(adj: Adjacency, rng: np.random.Generator) -> tuple[np.ndarray, int]:
+    """Match each vertex to its heaviest unmatched neighbour.
+
+    Returns ``match`` with ``match[v]`` the partner (or ``v`` itself) and
+    the number of matched pairs.
+    """
+    n = adj.n
+    match = np.full(n, -1, dtype=np.int64)
+    visit = rng.permutation(n)
+    pairs = 0
+    for v in visit.tolist():
+        if match[v] >= 0:
+            continue
+        lo, hi = adj.indptr[v], adj.indptr[v + 1]
+        nbrs = adj.indices[lo:hi]
+        wts = adj.weights[lo:hi]
+        free = match[nbrs] < 0
+        cand = nbrs[free]
+        if cand.size:
+            u = int(cand[np.argmax(wts[free])])
+            match[v] = u
+            match[u] = v
+            pairs += 1
+        else:
+            match[v] = v
+    return match, pairs
+
+
+def _coarsen(adj: Adjacency, match: np.ndarray) -> tuple[Adjacency, np.ndarray, np.ndarray]:
+    """Collapse matched pairs; returns (coarse graph, fine→coarse map,
+    coarse vertex weights are carried via `cweights`)."""
+    n = adj.n
+    cmap = np.full(n, -1, dtype=np.int64)
+    nxt = 0
+    for v in range(n):
+        if cmap[v] >= 0:
+            continue
+        u = int(match[v])
+        cmap[v] = nxt
+        if u != v:
+            cmap[u] = nxt
+        nxt += 1
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(adj.indptr))
+    cr = cmap[row_of]
+    cc = cmap[adj.indices]
+    keep = cr != cc  # collapsed edges vanish (their weight is internal)
+    coo = COOMatrix(cr[keep], cc[keep], adj.weights[keep], (nxt, nxt)).canonicalize()
+    indptr = np.zeros(nxt + 1, dtype=np.int64)
+    np.cumsum(np.bincount(coo.rows, minlength=nxt), out=indptr[1:])
+    coarse = Adjacency(indptr, coo.cols, coo.values, nxt)
+    return coarse, cmap, np.bincount(cmap, minlength=nxt).astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# Initial partition + refinement
+# ----------------------------------------------------------------------
+def _grow_initial(adj: Adjacency, vweights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """BFS region growing until half the total vertex weight is absorbed."""
+    n = adj.n
+    side = np.ones(n, dtype=np.int8)
+    if n == 0:
+        return side
+    total = float(vweights.sum())
+    start = pseudo_peripheral_node(adj, int(rng.integers(n)))
+    absorbed = 0.0
+    seen = np.zeros(n, dtype=bool)
+    queue = [start]
+    seen[start] = True
+    head = 0
+    while head < len(queue) and absorbed < total / 2:
+        v = queue[head]
+        head += 1
+        side[v] = 0
+        absorbed += float(vweights[v])
+        for u in adj.neighbors(v).tolist():
+            if not seen[u]:
+                seen[u] = True
+                queue.append(u)
+    # Unreached vertices (other components): balance greedily.
+    for v in np.flatnonzero(~seen).tolist():
+        if absorbed < total / 2:
+            side[v] = 0
+            absorbed += float(vweights[v])
+    return side
+
+
+def _fm_refine(
+    adj: Adjacency,
+    vweights: np.ndarray,
+    side: np.ndarray,
+    *,
+    passes: int = 3,
+    balance: float = 0.1,
+    max_moves: int | None = None,
+) -> int:
+    """Boundary FM refinement; mutates ``side``; returns work units spent.
+
+    Each pass computes gains for the boundary once (vectorised), then
+    repeatedly moves the highest-gain vertex that keeps both sides within
+    ``(0.5 ± balance)`` of the total weight, updating only the moved
+    vertex's neighbours' gains (the classical FM delta).  Moves may go
+    downhill; the pass rolls back to its best prefix at the end.
+    """
+    n = adj.n
+    total = float(vweights.sum())
+    lo_w = total * (0.5 - balance)
+    hi_w = total * (0.5 + balance)
+    work = 0
+    if max_moves is None:
+        max_moves = max(64, n // 4)
+
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(adj.indptr))
+
+    for _ in range(passes):
+        cutmask = side[row_of] != side[adj.indices]
+        if not cutmask.any():
+            break
+        cand = np.unique(row_of[cutmask])
+        # gain[v] = w(cross edges of v) − w(internal edges of v).
+        sign = np.where(cutmask, adj.weights, -adj.weights)
+        gain = np.full(n, -np.inf)
+        gsum = np.zeros(n, dtype=np.float64)
+        np.add.at(gsum, row_of, sign)
+        gain[cand] = gsum[cand]
+        work += int(adj.indices.size)
+
+        w0 = float(vweights[side == 0].sum())
+        moved_seq: list[int] = []
+        cum = 0.0
+        cums: list[float] = []
+        for _step in range(min(int(cand.size), max_moves)):
+            v = int(np.argmax(gain))
+            g = gain[v]
+            if g == -np.inf:
+                break
+            nw0 = w0 - vweights[v] if side[v] == 0 else w0 + vweights[v]
+            if not (lo_w <= nw0 <= hi_w):
+                gain[v] = -np.inf  # locked out by balance; try next best
+                continue
+            side[v] ^= 1
+            w0 = nw0
+            gain[v] = -np.inf  # a vertex moves at most once per pass
+            cum += g
+            moved_seq.append(v)
+            cums.append(cum)
+            # Delta-update neighbours: edge (v,u) flips cross/internal.
+            lo, hi = adj.indptr[v], adj.indptr[v + 1]
+            nbrs = adj.indices[lo:hi]
+            wts = adj.weights[lo:hi]
+            work += int(nbrs.size)
+            live = gain[nbrs] != -np.inf
+            nb, wb = nbrs[live], wts[live]
+            same_now = side[nb] == side[v]
+            gain[nb] += np.where(same_now, -2.0 * wb, 2.0 * wb)
+            if len(cums) >= 16 and cum < max(cums) - 0.25 * abs(max(cums)) - 1:
+                break  # deep downhill; stop the pass early
+        if not moved_seq:
+            break
+        best_idx = int(np.argmax(cums))
+        if cums[best_idx] <= 0:
+            for v in moved_seq:
+                side[v] ^= 1  # nothing helped; undo the pass and stop
+            break
+        for v in moved_seq[best_idx + 1 :]:
+            side[v] ^= 1  # roll back past the best prefix
+    return work
+
+
+def edge_cut(adj: Adjacency, side: np.ndarray) -> float:
+    """Total weight of edges crossing the partition (each edge once)."""
+    row_of = np.repeat(np.arange(adj.n, dtype=np.int64), np.diff(adj.indptr))
+    crossing = side[row_of] != side[adj.indices]
+    return float(adj.weights[crossing].sum()) / 2.0
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def bisect(adj: Adjacency, *, seed: int = 0, coarsen_to: int = 64, balance: float = 0.1) -> BisectResult:
+    """Multilevel bisection of ``adj`` (see module docstring)."""
+    rng = np.random.default_rng(seed)
+    work = 0
+
+    # Coarsening phase.
+    levels: list[tuple[Adjacency, np.ndarray]] = []  # (graph, fine→coarse map)
+    g = adj
+    vw = np.ones(g.n, dtype=np.float64)
+    vweights = [vw]
+    while g.n > coarsen_to:
+        match, pairs = _heavy_edge_matching(g, rng)
+        work += int(g.indices.size)
+        if pairs < g.n // 20:  # matching stalled (e.g. star graphs)
+            break
+        coarse, cmap, cvw = _coarsen(g, match)
+        # Coarse vertex weight = sum of fine weights it absorbs.
+        cw = np.zeros(coarse.n, dtype=np.float64)
+        np.add.at(cw, cmap, vweights[-1])
+        levels.append((g, cmap))
+        vweights.append(cw)
+        g = coarse
+
+    # Initial partition on the coarsest graph.
+    side = _grow_initial(g, vweights[-1], rng)
+    work += int(g.indices.size)
+    work += _fm_refine(g, vweights[-1], side, balance=balance)
+
+    # Uncoarsen + refine.
+    for (fine, cmap), fvw in zip(reversed(levels), reversed(vweights[:-1])):
+        side = side[cmap]
+        work += _fm_refine(fine, fvw, side, balance=balance)
+
+    return BisectResult(side.astype(np.int8), edge_cut(adj, side), work)
+
+
+def recursive_partition(adj: Adjacency, k: int, *, seed: int = 0) -> tuple[np.ndarray, int]:
+    """Partition into ``k`` parts by recursive bisection.
+
+    Returns ``(part_id per vertex, total work)``.  ``k`` is rounded up to
+    the recursion's natural power-of-two granularity for small remainders
+    (as METIS's recursive mode effectively does).
+    """
+    parts = np.zeros(adj.n, dtype=np.int64)
+    work = 0
+    next_id = [1]
+
+    def split(vertices: np.ndarray, want: int, s: int) -> None:
+        nonlocal work
+        if want <= 1 or vertices.size <= 1:
+            return
+        sub, back = _subgraph(adj, vertices)
+        res = bisect(sub, seed=s)
+        work += res.work
+        left = vertices[res.side == 0]
+        right = vertices[res.side == 1]
+        if left.size == 0 or right.size == 0:
+            return
+        new_id = next_id[0]
+        next_id[0] += 1
+        parts[right] = new_id
+        want_left = (want + 1) // 2
+        split(left, want_left, s * 2 + 1)
+        split(right, want - want_left, s * 2 + 2)
+
+    split(np.arange(adj.n, dtype=np.int64), k, seed)
+    return parts, work
+
+
+def _subgraph(adj: Adjacency, vertices: np.ndarray) -> tuple[Adjacency, np.ndarray]:
+    """Induced subgraph; returns (subgraph, local→global map)."""
+    glob2loc = np.full(adj.n, -1, dtype=np.int64)
+    glob2loc[vertices] = np.arange(vertices.size, dtype=np.int64)
+    lens = np.diff(adj.indptr)[vertices]
+    from ..core.csr import _concat_ranges
+
+    take = _concat_ranges(adj.indptr[vertices], lens)
+    nbrs = adj.indices[take]
+    wts = adj.weights[take]
+    row_of = np.repeat(np.arange(vertices.size, dtype=np.int64), lens)
+    keep = glob2loc[nbrs] >= 0
+    coo = COOMatrix(row_of[keep], glob2loc[nbrs[keep]], wts[keep], (vertices.size, vertices.size)).canonicalize()
+    indptr = np.zeros(vertices.size + 1, dtype=np.int64)
+    np.cumsum(np.bincount(coo.rows, minlength=vertices.size), out=indptr[1:])
+    return Adjacency(indptr, coo.cols, coo.values, vertices.size), vertices

@@ -1,0 +1,61 @@
+"""Reverse Cuthill–McKee ordering [15, 38] (paper Table 1).
+
+Classic bandwidth-reduction ordering: BFS from a pseudo-peripheral
+vertex, visiting each level's vertices in ascending-degree order, then
+reverse the whole sequence (Liu & Sherman's variant, which dominates
+plain CM for envelope methods).  Components are processed smallest
+first so the reversal leaves the large component's ordering contiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.csr import CSRMatrix
+from .base import ReorderingResult, register
+from .graph import Adjacency, connected_components, pseudo_peripheral_node
+
+__all__ = ["rcm_order"]
+
+
+@register("rcm")
+def rcm_order(A: CSRMatrix, *, seed: int = 0) -> ReorderingResult:
+    """Reverse Cuthill–McKee over the undirected graph of ``A``."""
+    adj = Adjacency.from_matrix(A)
+    n = A.nrows
+    deg = adj.degree()[:n] if adj.n > n else adj.degree()
+    work = 0
+
+    comp = connected_components(adj)[:n]
+    order: list[int] = []
+    visited = np.zeros(n, dtype=bool)
+
+    # Components sorted by size ascending (see module docstring).
+    comp_ids, comp_sizes = np.unique(comp, return_counts=True)
+    for cid in comp_ids[np.argsort(comp_sizes, kind="stable")]:
+        members = np.flatnonzero(comp == cid)
+        mask = np.zeros(adj.n, dtype=bool)
+        mask[members] = True
+        start = int(members[np.argmin(deg[members])])
+        start = pseudo_peripheral_node(adj, start, mask=mask)
+        work += int(deg[members].sum()) * 2  # pseudo-peripheral BFS passes
+
+        # Cuthill–McKee BFS with ascending-degree tie-breaking.
+        queue = [start]
+        visited[start] = True
+        head = 0
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            nbrs = adj.neighbors(v)
+            nbrs = nbrs[nbrs < n]
+            work += int(nbrs.size)
+            fresh = nbrs[~visited[nbrs]]
+            if fresh.size:
+                fresh = fresh[np.argsort(deg[fresh], kind="stable")]
+                visited[fresh] = True
+                queue.extend(fresh.tolist())
+        order.extend(queue)
+
+    perm = np.array(order[::-1], dtype=np.int64)  # the "reverse" in RCM
+    return ReorderingResult(perm, "rcm", work=work, info={"components": int(comp_ids.size)})

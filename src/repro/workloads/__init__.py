@@ -1,0 +1,8 @@
+"""Evaluation workloads: ``A²`` (paper §4.2–4.3) and square × tall-skinny
+BC frontiers (paper §4.4), plus the end-to-end BC application."""
+
+from .asquare import ASquareWorkload
+from .bc import betweenness_centrality
+from .tallskinny import FrontierSequence, bc_frontiers
+
+__all__ = ["ASquareWorkload", "FrontierSequence", "bc_frontiers", "betweenness_centrality"]

@@ -1,0 +1,51 @@
+"""The ``A²`` workload (paper §4.2–4.3).
+
+Squaring a sparse matrix is the paper's primary workload: both operands
+are the same matrix, so a symmetric reordering ``P A Pᵀ`` changes the
+locality of *both* the row traversal and the ``B``-row accesses while
+computing a permuted-but-identical product (``(PAPᵀ)² = P A² Pᵀ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.csr import CSRMatrix
+from ..core.spgemm import SpGEMMStats, flops_rowwise, spgemm_rowwise, spgemm_symbolic
+
+__all__ = ["ASquareWorkload"]
+
+
+@dataclass
+class ASquareWorkload:
+    """Bundle of the ``A²`` workload's invariants.
+
+    ``flops`` and ``out_nnz`` are permutation-invariant, so they are
+    computed once per matrix and shared by every (reordering, clustering)
+    configuration in the sweep.
+    """
+
+    A: CSRMatrix
+    flops: int
+    out_nnz: int
+
+    @classmethod
+    def of(cls, A: CSRMatrix) -> "ASquareWorkload":
+        if A.nrows != A.ncols:
+            raise ValueError(f"A² needs a square matrix, got {A.shape}")
+        flops = flops_rowwise(A, A)
+        out_nnz = int(spgemm_symbolic(A, A).sum())
+        return cls(A, flops, out_nnz)
+
+    def reordered(self, perm: np.ndarray) -> CSRMatrix:
+        """The workload's operand under symmetric reordering."""
+        return self.A.permute_symmetric(perm)
+
+    def compute(self, *, accumulator: str = "sort") -> tuple[CSRMatrix, SpGEMMStats]:
+        """Actually execute ``A @ A`` (used by examples and wall-clock
+        benches; the simulated machine handles the model path)."""
+        stats = SpGEMMStats()
+        C = spgemm_rowwise(self.A, self.A, accumulator=accumulator, stats=stats)
+        return C, stats

@@ -1,0 +1,113 @@
+"""Batched betweenness centrality via SpGEMM (Brandes in linear algebra).
+
+The end-to-end application motivating the paper's tall-skinny workload
+(§4.2: "in BC computations, SpGEMM is executed tens of thousands of
+times").  Forward phase: BFS waves as ``Aᵀ Fᵢ`` products accumulating
+shortest-path counts σ.  Backward phase: dependency accumulation
+``δ(v) += σ_v/σ_w · (1 + δ(w))`` swept level by level with the transpose
+products.
+
+Validated against NetworkX in the test-suite on small graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.csr import CSRMatrix, _concat_ranges
+
+__all__ = ["betweenness_centrality"]
+
+
+def betweenness_centrality(
+    A: CSRMatrix,
+    *,
+    sources: np.ndarray | None = None,
+    batch: int = 32,
+    seed: int = 0,
+    normalized: bool = False,
+) -> np.ndarray:
+    """Approximate (sampled-source) betweenness centrality.
+
+    Parameters
+    ----------
+    A:
+        Square matrix whose pattern is the (directed) graph.
+    sources:
+        Explicit source vertices; when ``None``, ``batch`` sources are
+        sampled uniformly.  Passing *all* vertices gives exact BC.
+    normalized:
+        Scale by ``1/((n-1)(n-2))`` (directed convention).
+
+    Returns
+    -------
+    ``float64`` array of length ``n`` with centrality scores.
+    """
+    if A.nrows != A.ncols:
+        raise ValueError(f"BC needs a square matrix, got {A.shape}")
+    n = A.nrows
+    rng = np.random.default_rng(seed)
+    if sources is None:
+        sources = rng.choice(n, size=min(batch, n), replace=False)
+    sources = np.asarray(sources, dtype=np.int64)
+    b = sources.size
+
+    AT = A.transpose()  # AT row w = predecessors of w (backward phase)
+    a_lens = np.diff(A.indptr)
+
+    # Forward phase: per-(vertex, source) sigma and BFS depth.  Expansion
+    # follows A's rows (out-neighbours); in matrix terms each wave is the
+    # ``Aᵀ · F`` product of CombBLAS, evaluated pushed from the frontier.
+    sigma = np.zeros((n, b), dtype=np.float64)
+    depth = np.full((n, b), -1, dtype=np.int64)
+    sigma[sources, np.arange(b)] = 1.0
+    depth[sources, np.arange(b)] = 0
+
+    levels: list[tuple[np.ndarray, np.ndarray]] = []  # (vertices, sources) per depth
+    cur_v = sources.copy()
+    cur_s = np.arange(b, dtype=np.int64)
+    d = 0
+    while cur_v.size:
+        levels.append((cur_v, cur_s))
+        lens = a_lens[cur_v]
+        take = _concat_ranges(A.indptr[cur_v], lens)
+        nbr_v = A.indices[take]
+        nbr_s = np.repeat(cur_s, lens)
+        contrib = np.repeat(sigma[cur_v, cur_s], lens)
+        if nbr_v.size == 0:
+            break
+        key = nbr_v * np.int64(b) + nbr_s
+        uniq, inv = np.unique(key, return_inverse=True)
+        sig_add = np.bincount(inv, weights=contrib)
+        vv = (uniq // b).astype(np.int64)
+        ss = (uniq % b).astype(np.int64)
+        d += 1
+        # A whole BFS level is expanded in one step, so every (v, s) pair
+        # reached at depth d appears exactly once in `uniq`; multi-path
+        # sigma contributions were already summed by the bincount.
+        fresh = depth[vv, ss] == -1
+        depth[vv[fresh], ss[fresh]] = d
+        sigma[vv[fresh], ss[fresh]] += sig_add[fresh]
+        cur_v, cur_s = vv[fresh], ss[fresh]
+
+    # Backward phase: dependency accumulation from the deepest level up.
+    delta = np.zeros((n, b), dtype=np.float64)
+    for lv_v, lv_s in reversed(levels[1:]):  # sources accumulate nothing
+        # For each w at this level, push dependency to predecessors v:
+        # v is a predecessor of (w, s) iff edge v→w and depth[v,s]+1==depth[w,s].
+        lens = np.diff(AT.indptr)[lv_v]
+        take = _concat_ranges(AT.indptr[lv_v], lens)
+        # AT row w holds exactly the v with A[v, w] ≠ 0 — w's predecessors.
+        pred_v = AT.indices[take]
+        pred_s = np.repeat(lv_s, lens)
+        w_rep = np.repeat(lv_v, lens)
+        ok = depth[pred_v, pred_s] == depth[w_rep, pred_s] - 1
+        pv, ps, pw = pred_v[ok], pred_s[ok], w_rep[ok]
+        share = sigma[pv, ps] / np.maximum(sigma[pw, ps], 1.0) * (1.0 + delta[pw, ps])
+        np.add.at(delta, (pv, ps), share)
+    bc = delta.sum(axis=1)
+    # Brandes excludes each source's own dependency from its score.
+    bc[sources] -= delta[sources, np.arange(b)]
+    if normalized and n > 2:
+        bc /= (n - 1) * (n - 2)
+    return bc

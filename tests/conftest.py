@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import COOMatrix, CSRMatrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_csr(n: int, m: int, density: float, seed: int) -> CSRMatrix:
+    """Random CSR via scipy (the test oracle's own generator)."""
+    mat = sp.random(n, m, density=density, random_state=seed, format="csr")
+    mat.data[:] = np.random.default_rng(seed).uniform(0.5, 1.5, size=mat.nnz)
+    return CSRMatrix.from_scipy(mat)
+
+
+def paper_fig1_matrix() -> CSRMatrix:
+    """The 6×6 worked example of paper Figs. 1/4/5/6.
+
+    Rows: {0,1,2}, {1,2,5}, {0,1,5}, {3,4,5}, {2,4,5}, {0,3} — its CSR
+    arrays are printed in paper Fig. 4.
+    """
+    rows = [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4, 5, 5]
+    cols = [0, 1, 2, 1, 2, 5, 0, 1, 5, 3, 4, 5, 2, 4, 5, 0, 3]
+    vals = np.arange(1.0, len(rows) + 1.0)
+    return CSRMatrix.from_coo(COOMatrix(np.array(rows), np.array(cols), vals, (6, 6)))
+
+
+@pytest.fixture
+def fig1():
+    return paper_fig1_matrix()

@@ -1,0 +1,106 @@
+"""Metrics, profiles and table renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Profile,
+    amortization_profile,
+    best_of,
+    geomean,
+    positive_fraction,
+    positive_geomean,
+    ratio_profile,
+    render_box_figure,
+    render_dataset_bars,
+    render_matrix_table,
+    render_profile,
+    render_table2,
+    summarize_speedups,
+)
+
+
+class TestMetrics:
+    def test_geomean_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geomean_ignores_nan(self):
+        assert geomean([2.0, float("nan"), 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_empty_is_nan(self):
+        assert np.isnan(geomean([]))
+
+    def test_positive_fraction(self):
+        assert positive_fraction([0.5, 1.5, 2.0, 0.9]) == pytest.approx(0.5)
+
+    def test_positive_geomean_only_winners(self):
+        assert positive_geomean([0.1, 2.0, 8.0]) == pytest.approx(4.0)
+        assert np.isnan(positive_geomean([0.5, 0.9]))
+
+    def test_summary_quartiles(self):
+        s = summarize_speedups([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.median == 3.0
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.count == 5
+
+    def test_best_of_per_matrix_max(self):
+        per = {"a": [1.0, 0.5], "b": [0.8, 2.0]}
+        assert best_of(per) == [1.0, 2.0]
+
+    def test_best_of_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="misaligned"):
+            best_of({"a": [1.0], "b": [1.0, 2.0]})
+
+
+class TestProfiles:
+    def test_amortization_excludes_non_improving(self):
+        p = amortization_profile([1.0, 5.0, float("inf")], max_x=20)
+        assert p.n_problems == 2
+        assert p.fraction_at(20.0) == pytest.approx(1.0)
+        assert p.fraction_at(2.0) == pytest.approx(0.5)
+
+    def test_ratio_profile_cdf(self):
+        p = ratio_profile([0.5, 1.0, 2.0, 4.0], max_x=5)
+        assert p.fraction_at(1.0) == pytest.approx(0.5)
+        assert p.fraction_at(5.0) == pytest.approx(1.0)
+
+    def test_profile_points(self):
+        p = ratio_profile([1.0], max_x=2, points=3)
+        assert len(p.points()) == 3
+
+    def test_empty_profile(self):
+        p = amortization_profile([float("inf")])
+        assert p.n_problems == 0
+        assert np.isnan(p.fraction_at(1.0))
+
+
+class TestRenderers:
+    def test_box_figure_contains_rows(self):
+        boxes = {"rcm": summarize_speedups([1.0, 2.0]), "gp": summarize_speedups([3.0])}
+        out = render_box_figure("Fig 2", boxes)
+        assert "rcm" in out and "gp" in out and "GM" in out
+
+    def test_table2_layout(self):
+        rows = {"hp": {"rowwise": [2.0, 1.5], "fixed": [1.2], "variable": [0.8]}}
+        out = render_table2(rows)
+        assert "hp" in out and "Pos.%" in out
+
+    def test_dataset_bars(self):
+        out = render_dataset_bars("Fig 8", ["cage12", "M6"], {"hier": [1.1, 1.4]})
+        assert "cage12" in out and "1.40" in out
+
+    def test_profile_render(self):
+        p = ratio_profile([1.0, 2.0], max_x=4)
+        out = render_profile("Fig 11", {"fixed": p}, xs=[1.0, 2.0, 4.0])
+        assert "fixed" in out
+
+    def test_matrix_table_with_mean(self):
+        vals = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = render_matrix_table("Table 4", ["d1", "d2"], ["i1", "i2"], vals, mean_col=True)
+        assert "Mean" in out and "d1" in out
+        assert "1.50" in out  # mean of first row
+
+    def test_nan_rendering(self):
+        out = render_dataset_bars("x", ["d"], {"m": [float("nan")]})
+        assert "n/a" in out

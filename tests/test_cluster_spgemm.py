@@ -1,0 +1,102 @@
+"""Cluster-wise SpGEMM (paper Alg. 1) must reproduce row-wise output."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusterSpGEMMStats,
+    CSRCluster,
+    CSRMatrix,
+    cluster_spgemm,
+    padded_flops,
+    spgemm_rowwise,
+)
+
+from conftest import random_csr
+
+
+def fixed_clusters(n, size):
+    return [np.arange(lo, min(lo + size, n), dtype=np.int64) for lo in range(0, n, size)]
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 8])
+def test_equals_rowwise_fixed_clusters(size):
+    A = random_csr(30, 30, 0.12, seed=size)
+    B = random_csr(30, 24, 0.15, seed=100 + size)
+    Ac = CSRCluster.from_clusters(A, fixed_clusters(30, size), fixed_size=size)
+    C = cluster_spgemm(Ac, B, restore_order=True)
+    assert C.allclose(spgemm_rowwise(A, B))
+
+
+def test_equals_rowwise_random_clusters(rng):
+    A = random_csr(40, 40, 0.1, seed=55)
+    order = rng.permutation(40)
+    bounds = np.sort(rng.choice(np.arange(1, 40), size=6, replace=False))
+    clusters = [np.array(c) for c in np.split(order, bounds)]
+    Ac = CSRCluster.from_clusters(A, clusters)
+    C = cluster_spgemm(Ac, A, restore_order=True)
+    assert C.allclose(spgemm_rowwise(A, A))
+
+
+def test_unrestored_order_is_permuted_product(fig1):
+    clusters = [np.array([3, 4]), np.array([0, 1, 2, 5])]
+    Ac = CSRCluster.from_clusters(fig1, clusters)
+    C = cluster_spgemm(Ac, fig1, restore_order=False)
+    ref = spgemm_rowwise(fig1, fig1)
+    perm = Ac.permutation()
+    assert C.allclose(ref.permute_rows(perm))
+
+
+def test_padding_never_creates_output_entries():
+    """A padded slot multiplies by zero but must not add pattern entries."""
+    dense = np.zeros((4, 4))
+    dense[0, 0] = 1.0
+    dense[1, 1] = 1.0  # rows 0,1 disjoint → union cluster has padding
+    dense[2, 2] = dense[3, 3] = 1.0
+    A = CSRMatrix.from_dense(dense)
+    Ac = CSRCluster.from_clusters(A, [np.array([0, 1]), np.array([2, 3])], fixed_size=2)
+    C = cluster_spgemm(Ac, A, restore_order=True)
+    ref = spgemm_rowwise(A, A)
+    assert C.same_pattern(ref)
+
+
+def test_stats_padded_vs_useful(fig1):
+    Ac = CSRCluster.from_clusters(fig1, fixed_clusters(6, 3), fixed_size=3)
+    stats = ClusterSpGEMMStats()
+    cluster_spgemm(Ac, fig1, stats=stats)
+    # Useful flops equal the row-wise flop count.
+    b_lens = np.diff(fig1.indptr)
+    useful = int(b_lens[fig1.indices].sum())
+    assert stats.useful_flops == useful
+    assert stats.padded_flops >= stats.useful_flops
+    assert stats.padded_flops == padded_flops(Ac, fig1)
+    assert stats.padding_overhead >= 1.0
+
+
+def test_b_row_loads_counts_cluster_columns(fig1):
+    Ac = CSRCluster.from_clusters(fig1, fixed_clusters(6, 3), fixed_size=3)
+    stats = ClusterSpGEMMStats()
+    cluster_spgemm(Ac, fig1, stats=stats)
+    # One load per (cluster, distinct column): 4 + 5 (Fig. 6a).
+    assert stats.b_row_loads == 9
+
+
+def test_dimension_mismatch_rejected(fig1):
+    Ac = CSRCluster.from_clusters(fig1, fixed_clusters(6, 2), fixed_size=2)
+    B = random_csr(5, 5, 0.5, seed=1)
+    with pytest.raises(ValueError, match="inner dimensions"):
+        cluster_spgemm(Ac, B)
+
+
+def test_rectangular_b():
+    A = random_csr(20, 20, 0.2, seed=77)
+    B = random_csr(20, 7, 0.3, seed=78)
+    Ac = CSRCluster.from_clusters(A, fixed_clusters(20, 4), fixed_size=4)
+    assert cluster_spgemm(Ac, B, restore_order=True).allclose(spgemm_rowwise(A, B))
+
+
+def test_empty_inputs():
+    A = CSRMatrix.empty((6, 6))
+    Ac = CSRCluster.from_clusters(A, fixed_clusters(6, 3), fixed_size=3)
+    C = cluster_spgemm(Ac, A)
+    assert C.nnz == 0

@@ -1,0 +1,162 @@
+"""Clustering strategies: fixed, variable (Alg. 2), hierarchical (Alg. 3),
+union-find, and the paper's §3.2 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    Clustering,
+    UnionFind,
+    clustering_stats,
+    fixed_length_clustering,
+    hierarchical_clustering,
+    jaccard_sorted,
+    variable_length_clustering,
+)
+from repro.core import CSRMatrix
+
+from conftest import random_csr
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+        assert uf.n_sets == 4
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+
+    def test_size_cap(self):
+        uf = UnionFind(6, max_size=2)
+        assert uf.union(0, 1)
+        assert not uf.union(0, 2)  # would exceed cap
+        assert uf.set_size(2) == 1
+
+    def test_groups_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 3)
+        uf.union(1, 4)
+        groups = uf.groups()
+        flat = sorted(int(x) for g in groups for x in g)
+        assert flat == list(range(6))
+        assert [g.tolist() for g in groups][0] == [0, 3]
+
+
+class TestFixed:
+    def test_sizes(self):
+        A = random_csr(10, 10, 0.3, seed=1)
+        c = fixed_length_clustering(A, cluster_size=4)
+        assert c.sizes().tolist() == [4, 4, 2]
+        assert c.method == "fixed"
+
+    def test_invalid_size(self):
+        A = random_csr(4, 4, 0.5, seed=2)
+        with pytest.raises(ValueError, match="cluster_size"):
+            fixed_length_clustering(A, cluster_size=0)
+
+    def test_permutation_is_identity(self):
+        A = random_csr(9, 9, 0.3, seed=3)
+        c = fixed_length_clustering(A, cluster_size=3)
+        assert c.permutation().tolist() == list(range(9))
+
+
+class TestVariableAlg2:
+    def test_paper_section32_worked_example(self, fig1):
+        """§3.2: thresh 0.3 → clusters {0,1,2}, {3,4}, {5} (Fig. 5b)."""
+        c = variable_length_clustering(fig1, jacc_th=0.3, max_cluster_th=8)
+        assert [g.tolist() for g in c.clusters] == [[0, 1, 2], [3, 4], [5]]
+
+    def test_max_cluster_cap(self):
+        dense = np.tile((np.arange(8) < 3).astype(float), (10, 1))
+        A = CSRMatrix.from_dense(dense)  # all rows identical
+        c = variable_length_clustering(A, jacc_th=0.3, max_cluster_th=4)
+        assert c.sizes().tolist() == [4, 4, 2]
+
+    def test_threshold_one_only_identical(self, fig1):
+        c = variable_length_clustering(fig1, jacc_th=1.0)
+        assert c.nclusters == 6  # no two consecutive rows are identical
+
+    def test_threshold_zero_merges_aggressively(self, fig1):
+        c = variable_length_clustering(fig1, jacc_th=0.0, max_cluster_th=6)
+        assert c.nclusters == 1
+
+    def test_rejects_bad_params(self, fig1):
+        with pytest.raises(ValueError, match="jacc_th"):
+            variable_length_clustering(fig1, jacc_th=1.5)
+        with pytest.raises(ValueError, match="max_cluster_th"):
+            variable_length_clustering(fig1, max_cluster_th=0)
+
+    def test_covers_all_rows(self):
+        A = random_csr(33, 33, 0.1, seed=4)
+        c = variable_length_clustering(A)
+        flat = sorted(int(x) for g in c.clusters for x in g)
+        assert flat == list(range(33))
+
+    def test_work_counter_positive(self, fig1):
+        c = variable_length_clustering(fig1)
+        assert c.work > 0
+
+
+class TestHierarchicalAlg3:
+    def test_groups_scattered_identical_rows(self):
+        """The case variable-length cannot handle: similar rows far apart."""
+        n = 16
+        dense = np.zeros((n, n))
+        rng = np.random.default_rng(3)
+        for i in range(8):
+            cols = rng.choice(n, size=4, replace=False)
+            dense[i, cols] = 1.0
+            dense[i + 8, cols] = 2.0
+        A = CSRMatrix.from_dense(dense)
+        hc = hierarchical_clustering(A, jacc_th=0.5, max_cluster_th=4)
+        pairs = {frozenset(g.tolist()) & frozenset([i, i + 8]) for g in hc.clusters for i in range(8)}
+        # Every scattered twin (i, i+8) must share a cluster.
+        for i in range(8):
+            assert any(set([i, i + 8]) <= set(g.tolist()) for g in hc.clusters), i
+
+    def test_size_cap_respected(self):
+        dense = np.tile((np.arange(12) < 5).astype(float), (20, 1))
+        A = CSRMatrix.from_dense(dense)
+        hc = hierarchical_clustering(A, jacc_th=0.3, max_cluster_th=8)
+        assert int(hc.sizes().max()) <= 8
+
+    def test_partition_valid(self):
+        A = random_csr(40, 40, 0.12, seed=5)
+        hc = hierarchical_clustering(A)
+        flat = sorted(int(x) for g in hc.clusters for x in g)
+        assert flat == list(range(40))
+
+    def test_cluster_spgemm_correct_after_hierarchical(self):
+        from repro.core import cluster_spgemm, spgemm_rowwise
+
+        A = random_csr(30, 30, 0.15, seed=6)
+        hc = hierarchical_clustering(A)
+        Ac = hc.to_csr_cluster(A)
+        assert cluster_spgemm(Ac, A, restore_order=True).allclose(spgemm_rowwise(A, A))
+
+    def test_work_includes_candidate_generation(self):
+        A = random_csr(25, 25, 0.2, seed=7)
+        hc = hierarchical_clustering(A)
+        assert hc.work >= hc.params["candidates"]
+
+
+def test_clustering_validates_coverage():
+    with pytest.raises(ValueError, match="cover"):
+        Clustering(clusters=[np.array([0, 1])], method="fixed", nrows=3)
+
+
+def test_clustering_stats(fig1):
+    c = variable_length_clustering(fig1)
+    st = clustering_stats(c)
+    assert st["nclusters"] == 3
+    assert st["max_size"] == 3
+    assert st["singletons"] == 1
+
+
+def test_jaccard_sorted_helper():
+    assert jaccard_sorted(np.array([1, 2, 3]), np.array([2, 3, 4])) == 0.5
+    assert jaccard_sorted(np.zeros(0, np.int64), np.zeros(0, np.int64)) == 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for the COO container."""
+
+import numpy as np
+import pytest
+
+from repro.core import COOMatrix
+
+
+def test_basic_construction():
+    c = COOMatrix(np.array([0, 1]), np.array([1, 0]), np.array([2.0, 3.0]), (2, 2))
+    assert c.nnz == 2
+    assert c.shape == (2, 2)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError, match="identical shapes"):
+        COOMatrix(np.array([0]), np.array([0, 1]), np.array([1.0, 2.0]), (2, 2))
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError, match="out of range"):
+        COOMatrix(np.array([5]), np.array([0]), np.array([1.0]), (2, 2))
+    with pytest.raises(ValueError, match="out of range"):
+        COOMatrix(np.array([0]), np.array([7]), np.array([1.0]), (2, 2))
+
+
+def test_negative_shape_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        COOMatrix(np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0), (-1, 2))
+
+
+def test_canonicalize_sorts_and_sums_duplicates():
+    c = COOMatrix(np.array([1, 0, 1]), np.array([0, 0, 0]), np.array([1.0, 2.0, 3.0]), (2, 1))
+    k = c.canonicalize()
+    assert k.rows.tolist() == [0, 1]
+    assert k.values.tolist() == [2.0, 4.0]
+
+
+def test_canonicalize_without_summing_keeps_duplicates():
+    c = COOMatrix(np.array([0, 0]), np.array([1, 1]), np.array([1.0, 2.0]), (1, 2))
+    k = c.canonicalize(sum_duplicates=False)
+    assert k.nnz == 2
+
+
+def test_canonicalize_prunes_zeros():
+    c = COOMatrix(np.array([0, 0]), np.array([0, 1]), np.array([0.0, 1.0]), (1, 2))
+    k = c.canonicalize(prune_zeros=True)
+    assert k.nnz == 1
+    assert k.cols.tolist() == [1]
+
+
+def test_canonicalize_cancellation_prunes():
+    c = COOMatrix(np.array([0, 0]), np.array([0, 0]), np.array([1.0, -1.0]), (1, 1))
+    k = c.canonicalize(prune_zeros=True)
+    assert k.nnz == 0
+
+
+def test_empty():
+    e = COOMatrix.empty((3, 4))
+    assert e.nnz == 0
+    assert e.to_dense().shape == (3, 4)
+
+
+def test_from_dense_roundtrip(rng):
+    d = rng.random((5, 7))
+    d[d < 0.6] = 0.0
+    c = COOMatrix.from_dense(d)
+    assert np.array_equal(c.to_dense(), d)
+
+
+def test_from_dense_rejects_1d():
+    with pytest.raises(ValueError, match="2-D"):
+        COOMatrix.from_dense(np.ones(4))
+
+
+def test_transpose_shares_semantics(rng):
+    d = rng.random((4, 6))
+    d[d < 0.5] = 0
+    c = COOMatrix.from_dense(d)
+    assert np.array_equal(c.transpose().to_dense(), d.T)
+
+
+def test_symmetrize():
+    c = COOMatrix(np.array([0]), np.array([1]), np.array([2.0]), (2, 2))
+    s = c.symmetrize()
+    dense = s.to_dense()
+    assert dense[0, 1] == 2.0 and dense[1, 0] == 2.0

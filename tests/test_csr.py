@@ -1,0 +1,154 @@
+"""Unit tests for CSRMatrix, including the paper's Fig. 4 worked example."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import COOMatrix, CSRMatrix, is_canonical
+from repro.core.csr import INDEX_BYTES, POINTER_BYTES, VALUE_BYTES
+
+from conftest import random_csr
+
+
+def test_paper_fig4_arrays(fig1):
+    """Paper Fig. 4 prints the CSR arrays of the Fig. 1 matrix."""
+    assert fig1.indptr.tolist() == [0, 3, 6, 9, 12, 15, 17]
+    assert fig1.indices.tolist() == [0, 1, 2, 1, 2, 5, 0, 1, 5, 3, 4, 5, 2, 4, 5, 0, 3]
+
+
+def test_construction_validates_indptr():
+    with pytest.raises(ValueError, match="indptr"):
+        CSRMatrix(np.array([0, 2]), np.array([0]), np.array([1.0]), (2, 2))
+
+
+def test_construction_validates_col_range():
+    with pytest.raises(ValueError, match="out of range"):
+        CSRMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]), (1, 2))
+
+
+def test_construction_validates_lengths():
+    with pytest.raises(ValueError, match="equal length"):
+        CSRMatrix(np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]), (1, 2))
+
+
+def test_from_coo_sums_duplicates():
+    coo = COOMatrix(np.array([0, 0]), np.array([1, 1]), np.array([1.0, 2.0]), (1, 2))
+    A = CSRMatrix.from_coo(coo)
+    assert A.nnz == 1
+    assert A.values.tolist() == [3.0]
+
+
+def test_eye_and_empty():
+    assert CSRMatrix.eye(4).to_dense().tolist() == np.eye(4).tolist()
+    e = CSRMatrix.empty((2, 3))
+    assert e.nnz == 0 and e.shape == (2, 3)
+
+
+def test_scipy_interop_roundtrip(rng):
+    A = random_csr(20, 30, 0.2, seed=7)
+    back = CSRMatrix.from_scipy(A.to_scipy())
+    assert A.allclose(back)
+
+
+def test_row_access(fig1):
+    assert fig1.row_cols(3).tolist() == [3, 4, 5]
+    assert fig1.row_nnz().tolist() == [3, 3, 3, 3, 3, 2]
+
+
+def test_transpose_matches_scipy(rng):
+    A = random_csr(17, 29, 0.15, seed=3)
+    T = A.transpose()
+    assert is_canonical(T)
+    assert np.array_equal(T.to_dense(), A.to_dense().T)
+
+
+def test_transpose_involution(rng):
+    A = random_csr(13, 13, 0.2, seed=9)
+    assert A.transpose().transpose().allclose(A)
+
+
+def test_binarize(fig1):
+    b = fig1.binarize()
+    assert b.same_pattern(fig1)
+    assert np.all(b.values == 1.0)
+
+
+def test_permute_rows_gather_semantics(fig1):
+    perm = np.array([5, 4, 3, 2, 1, 0])
+    P = fig1.permute_rows(perm)
+    assert np.array_equal(P.to_dense(), fig1.to_dense()[perm])
+
+
+def test_permute_cols_gather_semantics(fig1):
+    perm = np.array([2, 0, 1, 5, 4, 3])
+    P = fig1.permute_cols(perm)
+    assert is_canonical(P)
+    assert np.array_equal(P.to_dense(), fig1.to_dense()[:, perm])
+
+
+def test_permute_symmetric(fig1, rng):
+    perm = rng.permutation(6)
+    P = fig1.permute_symmetric(perm)
+    d = fig1.to_dense()
+    assert np.array_equal(P.to_dense(), d[np.ix_(perm, perm)])
+
+
+def test_permute_rejects_non_permutation(fig1):
+    with pytest.raises(ValueError, match="not a permutation"):
+        fig1.permute_rows(np.array([0, 0, 1, 2, 3, 4]))
+    with pytest.raises(ValueError, match="length"):
+        fig1.permute_rows(np.array([0, 1]))
+
+
+def test_extract_rows(fig1):
+    sub = fig1.extract_rows(np.array([5, 0]))
+    assert sub.shape == (2, 6)
+    assert np.array_equal(sub.to_dense(), fig1.to_dense()[[5, 0]])
+
+
+def test_jaccard_similarity_paper_values(fig1):
+    """§3.2's worked example: J(r0,r1)=J(r0,r2)=0.5, J(r0,r3)=0,
+    J(r3,r4)=0.5, J(r3,r5)=0.25."""
+    assert fig1.jaccard_similarity(0, 1) == 0.5
+    assert fig1.jaccard_similarity(0, 2) == 0.5
+    assert fig1.jaccard_similarity(0, 3) == 0.0
+    assert fig1.jaccard_similarity(3, 4) == 0.5
+    assert fig1.jaccard_similarity(3, 5) == 0.25
+
+
+def test_jaccard_empty_rows():
+    A = CSRMatrix.empty((2, 4))
+    assert A.jaccard_similarity(0, 1) == 1.0
+
+
+def test_row_overlap(fig1):
+    assert fig1.row_overlap(0, 1) == 2
+    assert fig1.row_overlap(0, 3) == 0
+
+
+def test_memory_bytes_formula(fig1):
+    expected = 7 * POINTER_BYTES + 17 * (INDEX_BYTES + VALUE_BYTES)
+    assert fig1.memory_bytes() == expected
+
+
+def test_drop_explicit_zeros():
+    A = CSRMatrix(np.array([0, 2]), np.array([0, 1]), np.array([0.0, 2.0]), (1, 2))
+    B = A.drop_explicit_zeros()
+    assert B.nnz == 1 and B.indices.tolist() == [1]
+
+
+def test_scale_values(fig1):
+    s = fig1.scale_values(1.0)
+    assert np.all(s.values == 1.0) and s.same_pattern(fig1)
+
+
+def test_allclose_detects_pattern_difference(fig1):
+    other = fig1.copy()
+    other.indices = other.indices.copy()
+    other.indices[0] = 1  # now duplicate col in row 0, different pattern
+    assert not fig1.allclose(CSRMatrix(other.indptr, other.indices, other.values, other.shape, check=False))
+
+
+def test_to_dense_matches_scipy(rng):
+    A = random_csr(11, 13, 0.3, seed=21)
+    assert np.allclose(A.to_dense(), A.to_scipy().toarray())

@@ -1,0 +1,112 @@
+"""CSR_Cluster format tests, including the paper's Fig. 6 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.core import CSRCluster, CSRMatrix
+
+from conftest import random_csr
+
+
+def fixed_clusters(n, size):
+    return [np.arange(lo, min(lo + size, n), dtype=np.int64) for lo in range(0, n, size)]
+
+
+def test_paper_fig6a_fixed_length(fig1):
+    """Fig. 6(a): two fixed clusters of 3 rows.
+
+    Cluster 0 (rows 0-2) has distinct columns {0,1,2,5}; cluster 1 (rows
+    3-5) has {0,2,3,4,5}; cluster-ptrs = [0,4,9]; 17 structural values
+    in 4·3 + 5·3 = 27 padded slots.
+    """
+    Ac = CSRCluster.from_clusters(fig1, fixed_clusters(6, 3), fixed_size=3)
+    assert Ac.cluster_cols(0).tolist() == [0, 1, 2, 5]
+    assert Ac.cluster_cols(1).tolist() == [0, 2, 3, 4, 5]
+    assert Ac.col_ptr.tolist() == [0, 4, 9]
+    assert Ac.nnz == 17
+    assert Ac.padded_slots == 27
+
+
+def test_paper_fig6b_variable_length(fig1):
+    """Fig. 6(b): variable clusters {0-2}, {3-4}, {5} (sizes 3,2,1)."""
+    clusters = [np.array([0, 1, 2]), np.array([3, 4]), np.array([5])]
+    Ac = CSRCluster.from_clusters(fig1, clusters)
+    assert Ac.cluster_sizes().tolist() == [3, 2, 1]
+    assert Ac.cluster_cols(0).tolist() == [0, 1, 2, 5]
+    assert Ac.cluster_cols(1).tolist() == [2, 3, 4, 5]
+    assert Ac.cluster_cols(2).tolist() == [0, 3]
+    assert Ac.nnz == 17
+
+
+def test_roundtrip_to_csr(fig1):
+    Ac = CSRCluster.from_clusters(fig1, fixed_clusters(6, 4), fixed_size=4)
+    assert Ac.to_csr().allclose(fig1)
+
+
+def test_roundtrip_with_reordered_clusters(fig1):
+    clusters = [np.array([5, 0]), np.array([3, 1]), np.array([4, 2])]
+    Ac = CSRCluster.from_clusters(fig1, clusters)
+    assert Ac.to_csr().allclose(fig1)
+    assert Ac.permutation().tolist() == [5, 0, 3, 1, 4, 2]
+
+
+def test_partition_validation(fig1):
+    with pytest.raises(ValueError, match="cover"):
+        CSRCluster.from_clusters(fig1, [np.array([0, 1])])
+    with pytest.raises(ValueError, match="partition"):
+        CSRCluster.from_clusters(fig1, [np.array([0, 1, 2, 3, 4, 4])])
+
+
+def test_mask_distinguishes_padding(fig1):
+    Ac = CSRCluster.from_clusters(fig1, fixed_clusters(6, 3), fixed_size=3)
+    block, mask = Ac.cluster_block(0)
+    # Row 0 has no entry in column 5 (cluster col index 3) — padding.
+    assert not mask[3, 0]
+    assert block[3, 0] == 0.0
+    # Row 1 does have column 5.
+    assert mask[3, 1]
+
+
+def test_padding_ratio(fig1):
+    Ac = CSRCluster.from_clusters(fig1, fixed_clusters(6, 3), fixed_size=3)
+    assert Ac.padding_ratio() == pytest.approx(27 / 17)
+
+
+def test_memory_accounting_fixed_vs_variable(fig1):
+    """Variable-length stores the size array + value pointers on top."""
+    fixed = CSRCluster.from_clusters(fig1, fixed_clusters(6, 3), fixed_size=3)
+    variable = CSRCluster.from_clusters(fig1, fixed_clusters(6, 3))
+    assert variable.memory_bytes() > fixed.memory_bytes()
+
+
+def test_memory_can_beat_csr_for_similar_rows():
+    """Identical rows share column ids in CSR_Cluster → less memory than
+    CSR (the paper's Fig. 11 observation)."""
+    pattern = np.zeros((8, 64))
+    cols = [3, 9, 17, 31, 40, 55]
+    pattern[:, cols] = 1.5
+    A = CSRMatrix.from_dense(pattern)
+    Ac = CSRCluster.from_clusters(A, [np.arange(8)], fixed_size=8)
+    assert Ac.padding_ratio() == 1.0
+    assert Ac.memory_bytes() < A.memory_bytes()
+
+
+def test_cluster_accessors(fig1):
+    Ac = CSRCluster.from_clusters(fig1, [np.array([1, 4]), np.array([0, 2, 3, 5])])
+    assert Ac.nclusters == 2
+    assert Ac.cluster_rows(0).tolist() == [1, 4]
+    assert Ac.nrows == 6 and Ac.ncols == 6
+
+
+def test_empty_matrix_cluster():
+    A = CSRMatrix.empty((4, 4))
+    Ac = CSRCluster.from_clusters(A, [np.arange(4)])
+    assert Ac.nnz == 0
+    assert Ac.to_csr().allclose(A)
+
+
+def test_single_row_clusters_match_csr_semantics(rng):
+    A = random_csr(12, 12, 0.3, seed=31)
+    Ac = CSRCluster.from_clusters(A, [np.array([i]) for i in range(12)])
+    assert Ac.padding_ratio() == 1.0
+    assert Ac.to_csr().allclose(A)

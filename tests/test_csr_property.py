@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for the core sparse containers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import COOMatrix, CSRMatrix, is_canonical
+
+
+@st.composite
+def coo_matrices(draw, max_n=12, max_nnz=40):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(1, max_n))
+    k = draw(st.integers(0, max_nnz))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    cols = draw(st.lists(st.integers(0, m - 1), min_size=k, max_size=k))
+    vals = draw(st.lists(st.floats(-10, 10, allow_nan=False), min_size=k, max_size=k))
+    return COOMatrix(np.array(rows, np.int64), np.array(cols, np.int64), np.array(vals), (n, m))
+
+
+@st.composite
+def permutations(draw, n):
+    seed = draw(st.integers(0, 2**31 - 1))
+    return np.random.default_rng(seed).permutation(n)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_from_coo_is_canonical_and_dense_equal(coo):
+    A = CSRMatrix.from_coo(coo)
+    assert is_canonical(A)
+    assert np.allclose(A.to_dense(), coo.to_dense())
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(coo):
+    A = CSRMatrix.from_coo(coo)
+    assert A.transpose().transpose().allclose(A)
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_transpose_dense_agrees(coo):
+    A = CSRMatrix.from_coo(coo)
+    assert np.allclose(A.transpose().to_dense(), A.to_dense().T)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_row_permutation_inverse_roundtrip(data):
+    coo = data.draw(coo_matrices())
+    A = CSRMatrix.from_coo(coo)
+    perm = data.draw(permutations(A.nrows))
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size)
+    assert A.permute_rows(perm).permute_rows(inv).allclose(A)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_symmetric_permutation_preserves_nnz_and_values(data):
+    coo = data.draw(coo_matrices())
+    A = CSRMatrix.from_coo(coo)
+    n = max(A.nrows, A.ncols)
+    # pad to square for symmetric permutation
+    if A.nrows != A.ncols:
+        sq = COOMatrix(coo.rows, coo.cols, coo.values, (n, n))
+        A = CSRMatrix.from_coo(sq)
+    perm = data.draw(permutations(n))
+    P = A.permute_symmetric(perm)
+    assert P.nnz == A.nnz
+    assert np.allclose(np.sort(P.values), np.sort(A.values))
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_jaccard_symmetry_and_bounds(coo):
+    A = CSRMatrix.from_coo(coo)
+    for i in range(min(4, A.nrows)):
+        for j in range(min(4, A.nrows)):
+            s = A.jaccard_similarity(i, j)
+            assert 0.0 <= s <= 1.0
+            assert s == A.jaccard_similarity(j, i)
+            if i == j:
+                assert s == 1.0

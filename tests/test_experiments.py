@@ -1,0 +1,83 @@
+"""Experiment runner + cache integration tests (small matrices only)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CSRMatrix
+from repro.experiments import (
+    ExperimentConfig,
+    cached_matrix_sweep,
+    machine_for,
+    run_matrix_sweep,
+    run_tallskinny_sweep,
+)
+from repro.matrices import generators as G
+
+SMALL_CFG = ExperimentConfig(n_threads=2, cache_lines=64)
+
+
+def test_sweep_contains_all_configurations():
+    s = run_matrix_sweep("unit", SMALL_CFG, A=G.block_diagonal(8, 8, seed=1), reorderings=("shuffled", "rcm"))
+    assert set(s.rowwise) == {"original", "shuffled", "rcm"}
+    assert set(s.fixed) == {"original", "shuffled", "rcm"}
+    assert set(s.variable) == {"original", "shuffled", "rcm"}
+    assert s.hierarchical is not None
+    assert s.hierarchical_rowwise is not None
+    assert set(s.memory_ratio) == {"fixed", "variable", "hierarchical"}
+
+
+def test_sweep_baseline_speedup_is_one():
+    s = run_matrix_sweep("unit", SMALL_CFG, A=G.grid2d(8, 8, seed=2), reorderings=())
+    assert s.speedup("rowwise", "original") == pytest.approx(1.0)
+
+
+def test_sweep_records_preprocessing_time():
+    s = run_matrix_sweep("unit", SMALL_CFG, A=G.grid2d(8, 8, seed=3), reorderings=("rcm",))
+    assert s.rowwise["rcm"].pre_time > 0
+    assert s.fixed["rcm"].pre_time > s.rowwise["rcm"].pre_time  # adds cluster build
+
+
+def test_shuffle_hurts_structured_matrix():
+    A = G.block_diagonal(10, 12, seed=4)
+    s = run_matrix_sweep("unit", SMALL_CFG, A=A, reorderings=("shuffled",), with_clustering=False)
+    assert s.speedup("rowwise", "shuffled") < 1.0
+
+
+def test_amortization_iterations_consistent():
+    A = G.block_diagonal(10, 12, seed=5)
+    from repro.matrices import scramble
+
+    s = run_matrix_sweep("unit", SMALL_CFG, A=scramble(A, seed=1), reorderings=("rcm",), with_clustering=False)
+    rec = s.rowwise["rcm"]
+    it = rec.amortization_iterations(s.baseline_time)
+    if rec.time < s.baseline_time:
+        assert it == pytest.approx(rec.pre_time / (s.baseline_time - rec.time))
+    else:
+        assert it == float("inf")
+
+
+def test_tallskinny_sweep_shape():
+    A = G.grid2d(10, 10, seed=6)
+    res = run_tallskinny_sweep("unit", SMALL_CFG, A=A, batch=4, depth=5, reorderings=("rcm",))
+    assert "rcm" in res.rowwise_speedup
+    assert len(res.hierarchical_speedup) == 5
+
+
+def test_cached_sweep_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cfg = ExperimentConfig(n_threads=2, cache_lines=64, reorderings=("shuffled",))
+    s1 = cached_matrix_sweep("grid2d_5pt_0", cfg)
+    s2 = cached_matrix_sweep("grid2d_5pt_0", cfg)  # from disk
+    assert s1.baseline_time == s2.baseline_time
+    assert (tmp_path / f"sweep_grid2d_5pt_0_{cfg.cache_key()}.pkl").exists()
+
+
+def test_cache_key_changes_with_config():
+    a = ExperimentConfig(cache_lines=64).cache_key()
+    b = ExperimentConfig(cache_lines=128).cache_key()
+    assert a != b
+
+
+def test_machine_for_uses_config():
+    m = machine_for(ExperimentConfig(n_threads=3, cache_lines=99))
+    assert m.n_threads == 3 and m.cache_lines == 99

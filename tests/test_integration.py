@@ -1,0 +1,107 @@
+"""End-to-end integration tests: the full pipeline on small inputs.
+
+These mirror the paper's experimental flow — scramble a structured
+matrix, reorder/cluster it, and check both numerical correctness and the
+qualitative performance ordering the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    fixed_length_clustering,
+    hierarchical_clustering,
+    variable_length_clustering,
+)
+from repro.core import cluster_spgemm, spgemm_rowwise
+from repro.machine import SimulatedMachine
+from repro.matrices import generators as G, scramble
+from repro.reordering import apply_permutation, reorder
+
+
+@pytest.fixture(scope="module")
+def scrambled_blocks():
+    A = G.block_diagonal(12, 16, density=0.5, coupling=0.01, seed=9)
+    return A, scramble(A, seed=42)
+
+
+def test_numerical_correctness_of_every_path(scrambled_blocks):
+    """All kernel variants under all transformations compute A@A."""
+    _, Ash = scrambled_blocks
+    ref = spgemm_rowwise(Ash, Ash)
+
+    # Reordered row-wise: (PAPᵀ)² = P A² Pᵀ.
+    r = reorder(Ash, "rcm")
+    Ar = apply_permutation(Ash, r.perm)
+    Cr = spgemm_rowwise(Ar, Ar)
+    assert Cr.allclose(ref.permute_symmetric(r.perm))
+
+    # Cluster-wise for all three clusterings (on the original operand).
+    for cl in (
+        fixed_length_clustering(Ash, cluster_size=4),
+        variable_length_clustering(Ash),
+        hierarchical_clustering(Ash),
+    ):
+        Ac = cl.to_csr_cluster(Ash)
+        C = cluster_spgemm(Ac, Ash, restore_order=True)
+        assert C.allclose(ref), cl.method
+
+
+def test_shuffle_slows_reordering_recovers(scrambled_blocks):
+    """The paper's central qualitative result on a block matrix."""
+    A, Ash = scrambled_blocks
+    m = SimulatedMachine(n_threads=2, cache_lines=128)
+    t_nat = m.run_rowwise(A, A).time
+    t_shuf = m.run_rowwise(Ash, Ash).time
+    assert t_shuf > 1.5 * t_nat  # scrambling destroys locality
+
+    r = reorder(Ash, "gp", seed=1)
+    Ar = apply_permutation(Ash, r.perm)
+    t_gp = m.run_rowwise(Ar, Ar).time
+    assert t_gp < t_shuf  # partitioning recovers much of it
+
+
+def test_hierarchical_beats_rowwise_on_scattered_similarity(scrambled_blocks):
+    _, Ash = scrambled_blocks
+    m = SimulatedMachine(n_threads=2, cache_lines=128)
+    base = m.run_rowwise(Ash, Ash).time
+    hc = hierarchical_clustering(Ash)
+    t_h = m.run_clusterwise(hc.to_csr_cluster(Ash), Ash).time
+    assert t_h < base
+
+
+def test_variable_no_worse_memory_than_fixed(scrambled_blocks):
+    """Paper Fig. 11: variable-length is the most memory-frugal."""
+    _, Ash = scrambled_blocks
+    fixed = fixed_length_clustering(Ash, cluster_size=8).to_csr_cluster(Ash)
+    variable = variable_length_clustering(Ash).to_csr_cluster(Ash)
+    assert variable.padding_ratio() <= fixed.padding_ratio()
+
+
+def test_reordering_before_clustering_composes(scrambled_blocks):
+    """Paper §4.3: reordering can boost variable clustering."""
+    _, Ash = scrambled_blocks
+    m = SimulatedMachine(n_threads=2, cache_lines=128)
+    vc_plain = variable_length_clustering(Ash)
+    t_plain = m.run_clusterwise(vc_plain.to_csr_cluster(Ash), Ash).time
+
+    r = reorder(Ash, "gp", seed=2)
+    Ar = apply_permutation(Ash, r.perm)
+    vc_re = variable_length_clustering(Ar)
+    t_re = m.run_clusterwise(vc_re.to_csr_cluster(Ar), Ar).time
+    assert t_re < t_plain
+
+
+def test_tallskinny_pipeline_correctness():
+    """Reordered A with aligned frontiers yields the permuted product."""
+    from repro.workloads import bc_frontiers
+
+    A = G.web_graph(150, seed=11)
+    fs = bc_frontiers(A, batch=6, depth=3, seed=1)
+    r = reorder(A, "rcm")
+    Ar = apply_permutation(A, r.perm)
+    fs_al = fs.aligned(r.perm)
+    for F, Fa in zip(fs.frontiers, fs_al.frontiers):
+        C = spgemm_rowwise(A, F)
+        Ca = spgemm_rowwise(Ar, Fa)
+        assert Ca.allclose(C.permute_rows(r.perm))

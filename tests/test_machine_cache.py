@@ -1,0 +1,80 @@
+"""Cache simulator tests: LRU semantics, set-associativity, statefulness."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CacheStats, LRUCache, SetAssociativeCache, simulate_lru
+
+
+class TestLRU:
+    def test_cold_misses(self):
+        st = simulate_lru(np.array([1, 2, 3]), 8)
+        assert st.misses == 3 and st.hits == 0
+
+    def test_hits_within_capacity(self):
+        st = simulate_lru(np.array([1, 2, 1, 2]), 8)
+        assert st.hits == 2 and st.misses == 2
+
+    def test_eviction_order_is_lru(self):
+        # cap 2: [1,2] → access 1 (refresh) → 3 evicts 2 → 2 misses again.
+        st = simulate_lru(np.array([1, 2, 1, 3, 2]), 2)
+        assert st.misses == 4 and st.hits == 1
+
+    def test_capacity_one(self):
+        st = simulate_lru(np.array([1, 1, 2, 2, 1]), 1)
+        assert st.hits == 2 and st.misses == 3
+
+    def test_reuse_distance_boundary(self):
+        # Distance exactly equal to capacity hits; one more misses.
+        cap = 4
+        fits = np.array([0, 1, 2, 3, 0])
+        st = simulate_lru(fits, cap)
+        assert st.hits == 1
+        overflows = np.array([0, 1, 2, 3, 4, 0])
+        st = simulate_lru(overflows, cap)
+        assert st.hits == 0
+
+    def test_stateful_across_runs(self):
+        c = LRUCache(8)
+        c.run(np.array([1, 2, 3]))
+        st = c.run(np.array([1, 2, 3]))
+        assert st.hits == 3
+        c.flush()
+        st = c.run(np.array([1]))
+        assert st.misses == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LRUCache(0)
+
+    def test_empty_trace(self):
+        st = simulate_lru(np.zeros(0, dtype=np.int64), 4)
+        assert st.accesses == 0 and st.miss_rate == 0.0
+
+
+class TestSetAssociative:
+    def test_fully_associative_equivalence(self):
+        trace = np.random.default_rng(0).integers(0, 50, size=300)
+        a = simulate_lru(trace, 16)
+        b = SetAssociativeCache(1, 16).run(trace)
+        assert (a.hits, a.misses) == (b.hits, b.misses)
+
+    def test_direct_mapped_conflicts(self):
+        # Lines 0 and 4 conflict in a 4-set direct-mapped cache.
+        c = SetAssociativeCache(4, 1)
+        st = c.run(np.array([0, 4, 0, 4]))
+        assert st.hits == 0 and st.misses == 4
+        # 2-way tolerates them.
+        c2 = SetAssociativeCache(4, 2)
+        st2 = c2.run(np.array([0, 4, 0, 4]))
+        assert st2.hits == 2
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 2)
+
+
+def test_stats_addition():
+    s = CacheStats(3, 2) + CacheStats(1, 4)
+    assert (s.hits, s.misses, s.accesses) == (4, 6, 10)
+    assert s.miss_rate == pytest.approx(0.6)

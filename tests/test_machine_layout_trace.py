@@ -1,0 +1,64 @@
+"""Memory layout and access-trace construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CSRCluster, CSRMatrix
+from repro.machine import BLayout, ENTRY_BYTES, b_row_sequence_trace, clusterwise_b_trace, rowwise_b_trace
+
+from conftest import random_csr
+
+
+def test_layout_line_math(fig1):
+    lay = BLayout.of(fig1, line_bytes=64)
+    # Row 0 spans entries [0,3) → bytes [0,36) → line 0 only.
+    assert lay.line_start[0] == 0 and lay.line_end[0] == 1
+    # Row 1 spans entries [3,6) → bytes [36,72) → lines 0..2 (exclusive).
+    assert lay.line_start[1] == 0 and lay.line_end[1] == 2
+    assert lay.total_lines == -(-fig1.nnz * ENTRY_BYTES // 64)
+
+
+def test_layout_empty_rows_touch_nothing():
+    A = CSRMatrix(np.array([0, 0, 2]), np.array([0, 1]), np.ones(2), (2, 2))
+    lay = BLayout.of(A, line_bytes=64)
+    assert lay.line_start[0] == lay.line_end[0]
+    assert lay.row_lines(0).size == 0
+
+
+def test_layout_rejects_bad_line_size(fig1):
+    with pytest.raises(ValueError, match="line_bytes"):
+        BLayout.of(fig1, line_bytes=0)
+
+
+def test_rowwise_trace_follows_a_indices(fig1):
+    lay = BLayout.of(fig1, line_bytes=16)  # small lines → >1 line per row
+    trace = rowwise_b_trace(fig1, lay)
+    # Manually expand: the B-row sequence is exactly fig1.indices.
+    expected = np.concatenate([lay.row_lines(int(k)) for k in fig1.indices])
+    assert np.array_equal(trace, expected)
+
+
+def test_rowwise_trace_row_subset(fig1):
+    lay = BLayout.of(fig1, line_bytes=16)
+    trace = rowwise_b_trace(fig1, lay, rows=np.array([2, 0]))
+    ks = np.concatenate([fig1.row_cols(2), fig1.row_cols(0)])
+    expected = np.concatenate([lay.row_lines(int(k)) for k in ks])
+    assert np.array_equal(trace, expected)
+
+
+def test_clusterwise_trace_deduplicates_within_cluster(fig1):
+    """Cluster-wise fetches each distinct column once per cluster."""
+    clusters = [np.array([0, 1, 2]), np.array([3, 4]), np.array([5])]
+    Ac = CSRCluster.from_clusters(fig1, clusters)
+    lay = BLayout.of(fig1, line_bytes=16)
+    trace = clusterwise_b_trace(Ac, lay)
+    expected = np.concatenate([lay.row_lines(int(k)) for k in Ac.cols])
+    assert np.array_equal(trace, expected)
+    # Strictly shorter than the row-wise trace (9 B-row opens vs 17).
+    assert trace.size < rowwise_b_trace(fig1, lay).size
+
+
+def test_b_row_sequence_trace_empty():
+    A = random_csr(5, 5, 0.4, seed=1)
+    lay = BLayout.of(A)
+    assert b_row_sequence_trace(np.zeros(0, np.int64), lay).size == 0

@@ -1,0 +1,71 @@
+"""Property-based tests for the machine model.
+
+The LRU simulator is validated against the classical *stack distance*
+characterisation: an access hits a fully-associative LRU cache of
+capacity C iff the number of distinct lines touched since the previous
+access to the same line is < C.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import LRUCache, balanced_contiguous_partition, simulate_lru
+
+
+def stack_distance_hits(trace: np.ndarray, capacity: int) -> int:
+    """Brute-force oracle for LRU hit counts."""
+    hits = 0
+    last_seen: dict[int, int] = {}
+    for t, line in enumerate(trace.tolist()):
+        if line in last_seen:
+            distinct = len(set(trace[last_seen[line] + 1 : t].tolist()))
+            if distinct < capacity:
+                hits += 1
+        last_seen[line] = t
+    return hits
+
+
+@given(
+    st.lists(st.integers(0, 12), min_size=0, max_size=60),
+    st.integers(1, 8),
+)
+@settings(max_examples=80, deadline=None)
+def test_lru_matches_stack_distance_oracle(trace, capacity):
+    trace = np.array(trace, dtype=np.int64)
+    st_ = simulate_lru(trace, capacity)
+    assert st_.hits == stack_distance_hits(trace, capacity)
+    assert st_.hits + st_.misses == trace.size
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=80), st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_lru_inclusion_property(trace, capacity):
+    """A larger LRU cache never has more misses (LRU is a stack algorithm)."""
+    trace = np.array(trace, dtype=np.int64)
+    small = simulate_lru(trace, capacity)
+    big = simulate_lru(trace, capacity * 2)
+    assert big.misses <= small.misses
+
+
+@given(
+    st.lists(st.integers(0, 1000), min_size=0, max_size=50),
+    st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_partition_is_ordered_cover(weights, parts):
+    w = np.array(weights, dtype=np.float64)
+    chunks = balanced_contiguous_partition(w, parts)
+    flat = np.concatenate(chunks) if chunks else np.zeros(0)
+    assert flat.tolist() == list(range(w.size))
+    assert len(chunks) == max(1, parts)
+
+
+@given(st.lists(st.integers(1, 100), min_size=4, max_size=40), st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_partition_balance_bound(weights, parts):
+    """No chunk exceeds total/parts + max single weight (prefix splitting)."""
+    w = np.array(weights, dtype=np.float64)
+    chunks = balanced_contiguous_partition(w, parts)
+    bound = w.sum() / parts + w.max()
+    for c in chunks:
+        assert w[c].sum() <= bound + 1e-9

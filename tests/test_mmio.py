@@ -1,0 +1,88 @@
+"""MatrixMarket I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.matrices import read_matrix_market, write_matrix_market
+
+from conftest import random_csr
+
+
+def test_roundtrip_real_general(tmp_path):
+    A = random_csr(12, 9, 0.3, seed=51)
+    p = tmp_path / "a.mtx"
+    write_matrix_market(A, p)
+    B = read_matrix_market(p)
+    assert A.allclose(B)
+
+
+def test_roundtrip_via_file_object():
+    A = random_csr(6, 6, 0.4, seed=52)
+    buf = io.StringIO()
+    write_matrix_market(A, buf, comment="round trip\nsecond line")
+    B = read_matrix_market(io.StringIO(buf.getvalue()))
+    assert A.allclose(B)
+
+
+def test_pattern_field():
+    A = random_csr(5, 5, 0.4, seed=53)
+    buf = io.StringIO()
+    write_matrix_market(A, buf, field="pattern")
+    B = read_matrix_market(io.StringIO(buf.getvalue()))
+    assert B.same_pattern(A)
+    assert np.all(B.values == 1.0)
+
+
+def test_symmetric_expansion():
+    text = """%%MatrixMarket matrix coordinate real symmetric
+% lower triangle only
+3 3 3
+1 1 5.0
+2 1 1.0
+3 2 2.0
+"""
+    A = read_matrix_market(io.StringIO(text))
+    d = A.to_dense()
+    assert d[0, 1] == 1.0 and d[1, 0] == 1.0
+    assert d[1, 2] == 2.0 and d[2, 1] == 2.0
+    assert d[0, 0] == 5.0
+    assert A.nnz == 5  # diagonal not mirrored
+
+
+def test_skew_symmetric_negates():
+    text = """%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+"""
+    A = read_matrix_market(io.StringIO(text))
+    d = A.to_dense()
+    assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+
+def test_rejects_non_mm_header():
+    with pytest.raises(ValueError, match="not a MatrixMarket"):
+        read_matrix_market(io.StringIO("hello\n1 1 1\n"))
+
+
+def test_rejects_array_format():
+    with pytest.raises(ValueError, match="coordinate"):
+        read_matrix_market(io.StringIO("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"))
+
+
+def test_rejects_wrong_entry_count():
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+    with pytest.raises(ValueError, match="expected 3 entries"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_rejects_unknown_field():
+    with pytest.raises(ValueError, match="field"):
+        read_matrix_market(io.StringIO("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"))
+
+
+def test_write_rejects_unknown_field():
+    A = random_csr(3, 3, 0.5, seed=54)
+    with pytest.raises(ValueError, match="field"):
+        write_matrix_market(A, io.StringIO(), field="complex")

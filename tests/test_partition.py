@@ -1,0 +1,75 @@
+"""Multilevel graph bisection tests (GP/ND substrate)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import CSRMatrix
+from repro.reordering.graph import Adjacency
+from repro.reordering.partition import BisectResult, bisect, edge_cut, recursive_partition, _subgraph
+
+from conftest import random_csr
+
+
+def two_cliques(k=12, bridge=1):
+    """Two k-cliques joined by `bridge` edges — an obvious bisection."""
+    n = 2 * k
+    dense = np.zeros((n, n))
+    dense[:k, :k] = 1.0
+    dense[k:, k:] = 1.0
+    for b in range(bridge):
+        dense[b, k + b] = dense[k + b, b] = 1.0
+    np.fill_diagonal(dense, 0.0)
+    return Adjacency.from_matrix(CSRMatrix.from_dense(dense))
+
+
+def test_bisect_finds_clique_split():
+    adj = two_cliques()
+    res = bisect(adj, seed=0)
+    assert isinstance(res, BisectResult)
+    # Perfect split: each clique on its own side; cut = bridge weight.
+    side0 = set(np.flatnonzero(res.side == 0).tolist())
+    assert side0 in ({*range(12)}, {*range(12, 24)})
+    assert res.cut == pytest.approx(1.0)
+
+
+def test_bisect_balance():
+    A = random_csr(100, 100, 0.06, seed=41)
+    adj = Adjacency.from_matrix(A)
+    res = bisect(adj, seed=1, balance=0.1)
+    frac = (res.side == 0).sum() / adj.n
+    assert 0.3 <= frac <= 0.7  # within a generous window of the constraint
+
+
+def test_edge_cut_counts_each_edge_once():
+    adj = two_cliques()
+    side = np.zeros(24, dtype=np.int8)
+    side[12:] = 1
+    assert edge_cut(adj, side) == pytest.approx(1.0)
+
+
+def test_recursive_partition_k4():
+    A = random_csr(80, 80, 0.08, seed=43)
+    adj = Adjacency.from_matrix(A)
+    parts, work = recursive_partition(adj, 4, seed=0)
+    assert parts.min() == 0
+    assert parts.max() <= 3
+    assert work > 0
+    # Every vertex assigned.
+    assert parts.shape == (80,)
+
+
+def test_subgraph_induced_edges():
+    adj = two_cliques()
+    sub, verts = _subgraph(adj, np.arange(12, dtype=np.int64))
+    # The induced subgraph of one clique has 12·11 directed entries.
+    assert sub.indices.size == 12 * 11
+    assert sub.n == 12
+
+
+def test_bisect_on_disconnected_graph():
+    blocks = sp.block_diag([np.ones((6, 6))] * 4, format="csr")
+    adj = Adjacency.from_matrix(CSRMatrix.from_scipy(blocks.tocsr()))
+    res = bisect(adj, seed=2)
+    # Disconnected graph: zero cut is achievable.
+    assert res.cut == pytest.approx(0.0)

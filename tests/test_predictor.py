@@ -1,0 +1,90 @@
+"""Tests for the best-configuration predictor (paper §5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.predictor import FEATURE_NAMES, ConfigurationPredictor, matrix_features
+from repro.experiments import ExperimentConfig, run_matrix_sweep
+from repro.matrices import generators as G, scramble
+
+CFG = ExperimentConfig(n_threads=2, cache_lines=64, reorderings=("shuffled", "rcm", "gp"))
+
+
+def family(seed, kind):
+    if kind == "banded":
+        return G.banded_random(300, bandwidth=8, seed=seed)
+    if kind == "scrambled_banded":
+        return scramble(G.banded_random(300, bandwidth=8, seed=seed), seed=seed)
+    return G.erdos_renyi(300, avg_degree=6, seed=seed)
+
+
+class TestFeatures:
+    def test_shape_and_names(self):
+        f = matrix_features(G.grid2d(10, 10))
+        assert f.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(f))
+
+    def test_bandwidth_feature_separates_order_quality(self):
+        A = G.banded_random(400, bandwidth=6, seed=1)
+        S = scramble(A, seed=2)
+        i = FEATURE_NAMES.index("bandwidth_ratio")
+        assert matrix_features(S)[i] > 5 * matrix_features(A)[i]
+
+    def test_consecutive_jaccard_detects_grouped_rows(self):
+        grouped = G.banded_random(300, bandwidth=8, group=4, seed=3)
+        random = G.erdos_renyi(300, avg_degree=8, seed=3)
+        i = FEATURE_NAMES.index("consecutive_jaccard")
+        assert matrix_features(grouped)[i] > matrix_features(random)[i]
+
+    def test_hub_mass_detects_power_law(self):
+        pl = G.rmat(9, edge_factor=8, seed=4)
+        er = G.erdos_renyi(512, avg_degree=16, seed=4)
+        i = FEATURE_NAMES.index("hub_mass")
+        assert matrix_features(pl)[i] > matrix_features(er)[i]
+
+    def test_deterministic(self):
+        A = G.web_graph(200, seed=5)
+        assert np.array_equal(matrix_features(A, seed=1), matrix_features(A, seed=1))
+
+
+class TestPredictor:
+    def _train(self):
+        mats, sweeps = [], []
+        for seed, kind in [(1, "banded"), (2, "banded"), (3, "scrambled_banded"), (4, "scrambled_banded"), (5, "er"), (6, "er")]:
+            A = family(seed, kind)
+            mats.append(A)
+            sweeps.append(run_matrix_sweep(f"{kind}_{seed}", CFG, A=A))
+        return ConfigurationPredictor(k=1).fit(mats, sweeps)
+
+    def test_best_configuration_extraction(self):
+        A = family(7, "scrambled_banded")
+        sweep = run_matrix_sweep("x", CFG, A=A)
+        label, speedup = ConfigurationPredictor.best_configuration(sweep)
+        assert speedup >= 1.0
+        assert label[1] in ("rowwise", "fixed", "variable", "cluster")
+
+    def test_predicts_reordering_for_scrambled_band(self):
+        pred = self._train()
+        probe = family(11, "scrambled_banded")
+        algo, variant = pred.predict(probe)
+        # A scrambled banded matrix should be matched to a scrambled-band
+        # neighbour whose winner involves actual reordering/clustering.
+        assert algo != "shuffled"
+
+    def test_predict_detail_exposes_voters(self):
+        pred = self._train()
+        label, voters = pred.predict_detail(family(12, "banded"))
+        assert len(voters) == 1
+        assert voters[0][1] >= 0.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ConfigurationPredictor().predict(G.grid2d(5, 5))
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            ConfigurationPredictor().fit([G.grid2d(4, 4)], [])
+        with pytest.raises(ValueError, match="empty"):
+            ConfigurationPredictor().fit([], [])
+        with pytest.raises(ValueError, match="k must be"):
+            ConfigurationPredictor(k=0)

@@ -1,0 +1,93 @@
+"""Row-wise Gustavson SpGEMM tests against the scipy oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import CSRMatrix, SpGEMMStats, flops_rowwise, spgemm_rowwise, spgemm_symbolic
+
+from conftest import random_csr
+
+
+@pytest.mark.parametrize("accumulator", ["sort", "dense", "hash"])
+def test_matches_scipy_square(accumulator):
+    A = random_csr(50, 50, 0.1, seed=1)
+    C = spgemm_rowwise(A, A, accumulator=accumulator)
+    ref = CSRMatrix.from_scipy(A.to_scipy() @ A.to_scipy())
+    assert C.allclose(ref)
+
+
+def test_matches_scipy_rectangular():
+    A = random_csr(30, 50, 0.12, seed=2)
+    B = random_csr(50, 20, 0.15, seed=3)
+    C = spgemm_rowwise(A, B)
+    ref = CSRMatrix.from_scipy(A.to_scipy() @ B.to_scipy())
+    assert C.allclose(ref)
+
+
+def test_single_phase_equals_two_phase():
+    A = random_csr(40, 40, 0.1, seed=4)
+    assert spgemm_rowwise(A, A, two_phase=True).allclose(spgemm_rowwise(A, A, two_phase=False))
+
+
+def test_dimension_mismatch_rejected():
+    A = random_csr(4, 5, 0.5, seed=5)
+    with pytest.raises(ValueError, match="inner dimensions"):
+        spgemm_rowwise(A, A)
+
+
+def test_unknown_accumulator_rejected():
+    A = random_csr(4, 4, 0.5, seed=6)
+    with pytest.raises(ValueError, match="unknown accumulator"):
+        spgemm_rowwise(A, A, accumulator="quantum")
+
+
+def test_empty_matrix():
+    A = CSRMatrix.empty((5, 5))
+    C = spgemm_rowwise(A, A)
+    assert C.nnz == 0 and C.shape == (5, 5)
+
+
+def test_identity_is_neutral():
+    A = random_csr(25, 25, 0.2, seed=7)
+    I = CSRMatrix.eye(25)
+    assert spgemm_rowwise(A, I).allclose(A)
+    assert spgemm_rowwise(I, A).allclose(A)
+
+
+def test_symbolic_counts_match_numeric():
+    A = random_csr(35, 35, 0.1, seed=8)
+    counts = spgemm_symbolic(A, A)
+    C = spgemm_rowwise(A, A)
+    assert counts.tolist() == np.diff(C.indptr).tolist()
+
+
+def test_flops_counting(fig1):
+    """flops = Σ over stored a_ik of nnz(B row k)."""
+    stats = SpGEMMStats()
+    spgemm_rowwise(fig1, fig1, stats=stats)
+    b_lens = np.diff(fig1.indptr)
+    expected = int(b_lens[fig1.indices].sum())
+    assert stats.flops == expected == flops_rowwise(fig1, fig1)
+
+
+def test_stats_out_nnz_and_compression(fig1):
+    stats = SpGEMMStats()
+    C = spgemm_rowwise(fig1, fig1, stats=stats)
+    assert stats.out_nnz == C.nnz
+    assert stats.compression_ratio == pytest.approx(stats.flops / C.nnz)
+
+
+def test_hash_probes_reported():
+    A = random_csr(20, 20, 0.2, seed=9)
+    stats = SpGEMMStats()
+    spgemm_rowwise(A, A, accumulator="hash", stats=stats)
+    assert stats.hash_probes >= stats.flops  # at least one probe per insert
+
+
+def test_cancellation_keeps_structural_zero():
+    """Numeric cancellation must not change the symbolic pattern."""
+    A = CSRMatrix.from_dense(np.array([[1.0, 1.0], [0.0, 0.0]]))
+    B = CSRMatrix.from_dense(np.array([[1.0, 0.0], [-1.0, 0.0]]))
+    C = spgemm_rowwise(A, B)
+    assert C.nnz == 1  # entry (0,0) stored although its value is 0
+    assert C.values.tolist() == [0.0]

@@ -1,0 +1,91 @@
+"""Property-based tests for the SpGEMM kernels (hypothesis).
+
+Core invariants exercised on random inputs:
+
+* row-wise output matches the scipy oracle for every accumulator,
+* cluster-wise matches row-wise for *arbitrary* row partitions,
+* the symbolic phase agrees with the numeric pattern,
+* permutation equivariance: ``(PAPᵀ)(PBQ?) = P(AB)…`` for our modes.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    COOMatrix,
+    CSRCluster,
+    CSRMatrix,
+    cluster_spgemm,
+    spgemm_rowwise,
+    spgemm_symbolic,
+)
+
+
+@st.composite
+def square_csr(draw, max_n=14, max_nnz=50):
+    n = draw(st.integers(2, max_n))
+    k = draw(st.integers(0, max_nnz))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    vals = draw(st.lists(st.floats(-4, 4, allow_nan=False), min_size=k, max_size=k))
+    return CSRMatrix.from_coo(COOMatrix(np.array(rows, np.int64), np.array(cols, np.int64), np.array(vals), (n, n)))
+
+
+@st.composite
+def random_partition(draw, n):
+    """A random ordered partition of range(n) into clusters."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    ncuts = draw(st.integers(0, max(0, n - 1)))
+    cuts = np.sort(rng.choice(np.arange(1, n), size=min(ncuts, n - 1), replace=False)) if n > 1 else []
+    return [np.array(c) for c in np.split(order, cuts)]
+
+
+@given(square_csr(), st.sampled_from(["sort", "dense", "hash"]))
+@settings(max_examples=40, deadline=None)
+def test_rowwise_matches_dense_oracle(A, acc):
+    C = spgemm_rowwise(A, A, accumulator=acc)
+    ref = A.to_dense() @ A.to_dense()
+    assert np.allclose(C.to_dense(), ref, atol=1e-9)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_clusterwise_equals_rowwise_any_partition(data):
+    A = data.draw(square_csr())
+    clusters = data.draw(random_partition(A.nrows))
+    Ac = CSRCluster.from_clusters(A, clusters)
+    C = cluster_spgemm(Ac, A, restore_order=True)
+    assert C.allclose(spgemm_rowwise(A, A))
+
+
+@given(square_csr())
+@settings(max_examples=40, deadline=None)
+def test_symbolic_equals_numeric_pattern(A):
+    counts = spgemm_symbolic(A, A)
+    C = spgemm_rowwise(A, A)
+    assert np.array_equal(counts, np.diff(C.indptr))
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_symmetric_permutation_equivariance(data):
+    A = data.draw(square_csr())
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    perm = np.random.default_rng(seed).permutation(A.nrows)
+    C = spgemm_rowwise(A, A)
+    Ap = A.permute_symmetric(perm)
+    Cp = spgemm_rowwise(Ap, Ap)
+    assert Cp.allclose(C.permute_symmetric(perm))
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_cluster_memory_at_least_shared_colids(data):
+    """CSR_Cluster stores ≥ nnz value slots and ≤ nnz column ids."""
+    A = data.draw(square_csr())
+    clusters = data.draw(random_partition(A.nrows))
+    Ac = CSRCluster.from_clusters(A, clusters)
+    assert Ac.padded_slots >= A.nnz
+    assert Ac.cols.size <= A.nnz or A.nnz == 0

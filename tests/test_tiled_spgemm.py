@@ -1,0 +1,97 @@
+"""Tiled SpGEMM tests (the paper's §5 alternative scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CSRMatrix, spgemm_rowwise
+from repro.core.tiled_spgemm import (
+    TiledSpGEMMStats,
+    split_column_tiles,
+    tiled_b_trace,
+    tiled_spgemm,
+)
+
+from conftest import random_csr
+
+
+class TestSplit:
+    def test_tiles_partition_columns(self):
+        B = random_csr(20, 50, 0.2, seed=81)
+        tiles = split_column_tiles(B, 16)
+        assert len(tiles) == 4  # 16+16+16+2
+        assert sum(t.nnz for _, t in tiles) == B.nnz
+        offs = [off for off, _ in tiles]
+        assert offs == [0, 16, 32, 48]
+
+    def test_tile_reconstruction(self):
+        B = random_csr(15, 30, 0.25, seed=82)
+        dense = np.zeros(B.shape)
+        for off, t in split_column_tiles(B, 7):
+            dense[:, off : off + t.ncols] += t.to_dense()
+        assert np.allclose(dense, B.to_dense())
+
+    def test_rejects_bad_width(self):
+        B = random_csr(4, 4, 0.5, seed=83)
+        with pytest.raises(ValueError, match="tile_cols"):
+            split_column_tiles(B, 0)
+
+    def test_tiles_are_canonical(self):
+        from repro.core import is_canonical
+
+        B = random_csr(12, 40, 0.3, seed=84)
+        for _, t in split_column_tiles(B, 9):
+            assert is_canonical(t)
+
+
+class TestTiledKernel:
+    @pytest.mark.parametrize("tile_cols", [1, 5, 16, 64, 1000])
+    def test_matches_rowwise(self, tile_cols):
+        A = random_csr(30, 40, 0.15, seed=85)
+        B = random_csr(40, 35, 0.15, seed=86)
+        C = tiled_spgemm(A, B, tile_cols=tile_cols)
+        assert C.allclose(spgemm_rowwise(A, B))
+
+    def test_square_case(self):
+        A = random_csr(40, 40, 0.1, seed=87)
+        assert tiled_spgemm(A, A, tile_cols=8).allclose(spgemm_rowwise(A, A))
+
+    def test_stats_flops_invariant(self):
+        """Tiling repartitions work; total flops equals row-wise flops."""
+        from repro.core import flops_rowwise
+
+        A = random_csr(25, 25, 0.2, seed=88)
+        stats = TiledSpGEMMStats()
+        tiled_spgemm(A, A, tile_cols=6, stats=stats)
+        assert stats.flops == flops_rowwise(A, A)
+        assert stats.a_restreams == sum(1 for n in stats.per_tile_nnz if n > 0)
+
+    def test_dimension_mismatch(self):
+        A = random_csr(4, 5, 0.5, seed=89)
+        with pytest.raises(ValueError, match="inner dimensions"):
+            tiled_spgemm(A, A)
+
+    def test_empty_input(self):
+        A = CSRMatrix.empty((6, 6))
+        assert tiled_spgemm(A, A, tile_cols=3).nnz == 0
+
+
+class TestTiledTrace:
+    def test_trace_shrinks_working_set(self):
+        """Per-tile traces touch fewer distinct lines than the full-B
+        row-wise trace — tiling's whole point."""
+        from repro.machine import simulate_lru
+        from repro.machine.layout import BLayout
+        from repro.machine.trace import rowwise_b_trace
+
+        A = random_csr(120, 120, 0.15, seed=90)
+        full = rowwise_b_trace(A, BLayout.of(A, line_bytes=64))
+        # Cache sized to hold one column tile of B but not all of B.
+        tiled = tiled_b_trace(A, A, tile_cols=12, line_bytes=64)
+        cap = 48
+        m_full = simulate_lru(full, cap).misses
+        m_tiled = simulate_lru(tiled, cap).misses
+        assert m_tiled < m_full  # tile slices stay resident
+
+    def test_trace_empty(self):
+        A = CSRMatrix.empty((4, 4))
+        assert tiled_b_trace(A, A, tile_cols=2).size == 0

@@ -1,0 +1,87 @@
+"""SpGEMM_TopK candidate generation vs a brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import CSRMatrix, spgemm_topk_similarity
+
+from conftest import random_csr
+
+
+def brute_force_pairs(A, jacc_th):
+    out = {}
+    for i in range(A.nrows):
+        for j in range(i + 1, A.nrows):
+            s = A.jaccard_similarity(i, j)
+            if s >= jacc_th and A.row_overlap(i, j) > 0:
+                out[(i, j)] = s
+    return out
+
+
+def test_matches_brute_force_scores():
+    A = random_csr(25, 25, 0.15, seed=11)
+    cand = spgemm_topk_similarity(A, topk=25, jacc_th=0.1, column_cap=10_000)
+    ref = brute_force_pairs(A, 0.1)
+    got = {(int(i), int(j)): float(s) for i, j, s in zip(cand.rows_i, cand.rows_j, cand.scores)}
+    assert set(got) == set(ref)
+    for k in ref:
+        assert got[k] == pytest.approx(ref[k])
+
+
+def test_topk_limits_per_row():
+    # All rows identical: every pair scores 1.0; top-k must bound fanout.
+    dense = np.tile((np.arange(10) < 4).astype(float), (12, 1))
+    A = CSRMatrix.from_dense(dense)
+    cand = spgemm_topk_similarity(A, topk=3, jacc_th=0.5, column_cap=1000)
+    counts = np.zeros(12, dtype=int)
+    for i, j in zip(cand.rows_i, cand.rows_j):
+        counts[i] += 1
+        counts[j] += 1
+    # Each row generated ≤ topk candidates (pairs dedup may lower counts).
+    assert len(cand) <= 12 * 3
+
+
+def test_threshold_filters():
+    A = random_csr(20, 20, 0.2, seed=13)
+    strict = spgemm_topk_similarity(A, topk=20, jacc_th=0.8, column_cap=1000)
+    loose = spgemm_topk_similarity(A, topk=20, jacc_th=0.05, column_cap=1000)
+    assert len(strict) <= len(loose)
+    assert np.all(strict.scores >= 0.8)
+
+
+def test_no_self_pairs():
+    A = random_csr(15, 15, 0.3, seed=17)
+    cand = spgemm_topk_similarity(A, topk=15, jacc_th=0.0)
+    assert np.all(cand.rows_i < cand.rows_j)
+
+
+def test_column_cap_skips_hub_columns():
+    """A dense column shared by everyone must not explode the candidates."""
+    dense = np.zeros((30, 30))
+    dense[:, 0] = 1.0  # hub column
+    for i in range(30):
+        dense[i, 1 + (i % 7)] = 1.0
+    A = CSRMatrix.from_dense(dense)
+    capped = spgemm_topk_similarity(A, topk=29, jacc_th=0.01, column_cap=8)
+    uncapped = spgemm_topk_similarity(A, topk=29, jacc_th=0.01, column_cap=1000)
+    assert capped.work < uncapped.work
+    assert len(capped) <= len(uncapped)
+
+
+def test_sorted_by_score_descending():
+    A = random_csr(18, 18, 0.25, seed=19)
+    cand = spgemm_topk_similarity(A, topk=18, jacc_th=0.05)
+    assert np.all(np.diff(cand.scores) <= 1e-12)
+
+
+def test_as_set_membership(fig1):
+    cand = spgemm_topk_similarity(fig1, topk=5, jacc_th=0.4)
+    s = cand.as_set()
+    # §3.2: J(0,1) = J(0,2) = 0.5 ≥ 0.4.
+    assert (0, 1) in s and (0, 2) in s
+
+
+def test_empty_matrix():
+    A = CSRMatrix.empty((5, 5))
+    cand = spgemm_topk_similarity(A)
+    assert len(cand) == 0

@@ -1,0 +1,128 @@
+"""Workload tests: A², BC frontiers, betweenness centrality."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.core import CSRMatrix, spgemm_rowwise
+from repro.workloads import ASquareWorkload, bc_frontiers, betweenness_centrality
+
+from conftest import random_csr
+
+
+class TestASquare:
+    def test_invariants_computed_once(self):
+        A = random_csr(30, 30, 0.12, seed=61)
+        wl = ASquareWorkload.of(A)
+        C, stats = wl.compute()
+        assert stats.flops == wl.flops
+        assert C.nnz == wl.out_nnz
+
+    def test_rejects_rectangular(self):
+        A = random_csr(4, 6, 0.5, seed=62)
+        with pytest.raises(ValueError, match="square"):
+            ASquareWorkload.of(A)
+
+    def test_reordered_product_is_permuted(self, rng):
+        A = random_csr(20, 20, 0.2, seed=63)
+        wl = ASquareWorkload.of(A)
+        perm = rng.permutation(20)
+        Ar = wl.reordered(perm)
+        Cr = spgemm_rowwise(Ar, Ar)
+        C = spgemm_rowwise(A, A)
+        assert Cr.allclose(C.permute_symmetric(perm))
+
+
+class TestFrontiers:
+    def graph(self, n=60, seed=64):
+        return random_csr(n, n, 0.08, seed=seed)
+
+    def test_fixed_depth(self):
+        A = self.graph()
+        fs = bc_frontiers(A, batch=8, depth=10, seed=1)
+        assert len(fs) == 10
+        for F in fs.frontiers:
+            assert F.shape == (60, 8)
+
+    def test_frontiers_are_disjoint_per_source(self):
+        """BFS visits each (vertex, source) pair at most once."""
+        A = self.graph()
+        fs = bc_frontiers(A, batch=6, depth=10, seed=2)
+        seen = set()
+        for F in fs.frontiers:
+            coo = F.to_coo()
+            for v, s in zip(coo.rows.tolist(), coo.cols.tolist()):
+                assert (v, s) not in seen
+                seen.add((v, s))
+
+    def test_first_frontier_are_source_neighbours(self):
+        A = self.graph()
+        fs = bc_frontiers(A, batch=4, depth=3, seed=3)
+        F1 = fs.frontiers[0]
+        for s, src in enumerate(fs.sources.tolist()):
+            cols = set(A.row_cols(src).tolist()) - {src}
+            got = set(F1.to_coo().rows[F1.to_coo().cols == s].tolist())
+            assert got <= cols | {src}
+
+    def test_sigma_values_are_path_counts(self):
+        # Diamond 0→1, 0→2, 1→3, 2→3: sigma(3) = 2 at depth 2.
+        dense = np.zeros((4, 4))
+        dense[0, 1] = dense[0, 2] = dense[1, 3] = dense[2, 3] = 1.0
+        A = CSRMatrix.from_dense(dense)
+        fs = bc_frontiers(A, batch=4, depth=3, seed=0)
+        # Find source 0's column.
+        s0 = int(np.flatnonzero(fs.sources == 0)[0])
+        F2 = fs.frontiers[1].to_dense()
+        assert F2[3, s0] == 2.0
+
+    def test_aligned_permutes_rows(self, rng):
+        A = self.graph()
+        fs = bc_frontiers(A, batch=4, depth=2, seed=4)
+        perm = rng.permutation(60)
+        al = fs.aligned(perm)
+        assert np.array_equal(al.frontiers[0].to_dense(), fs.frontiers[0].to_dense()[perm])
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            bc_frontiers(random_csr(4, 5, 0.5, seed=65))
+
+    def test_exhausted_graph_emits_empty_frontiers(self):
+        dense = np.zeros((3, 3))
+        dense[0, 1] = 1.0
+        A = CSRMatrix.from_dense(dense)
+        fs = bc_frontiers(A, batch=1, depth=5, seed=0)
+        assert len(fs) == 5
+        assert fs.frontiers[-1].nnz == 0
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_exact_matches_networkx(self, directed):
+        n = 35
+        G = nx.gnp_random_graph(n, 0.12, seed=7, directed=directed)
+        dense = np.zeros((n, n))
+        for u, v in G.edges:
+            dense[u, v] = 1.0
+            if not directed:
+                dense[v, u] = 1.0
+        A = CSRMatrix.from_dense(dense)
+        ours = betweenness_centrality(A, sources=np.arange(n))
+        ref = nx.betweenness_centrality(G if directed else G.to_directed(), normalized=False)
+        assert np.allclose(ours, [ref[i] for i in range(n)], atol=1e-9)
+
+    def test_normalized(self):
+        n = 20
+        G = nx.gnp_random_graph(n, 0.2, seed=8, directed=True)
+        dense = np.zeros((n, n))
+        for u, v in G.edges:
+            dense[u, v] = 1.0
+        A = CSRMatrix.from_dense(dense)
+        ours = betweenness_centrality(A, sources=np.arange(n), normalized=True)
+        ref = nx.betweenness_centrality(G, normalized=True)
+        assert np.allclose(ours, [ref[i] for i in range(n)], atol=1e-9)
+
+    def test_sampled_sources_subset(self):
+        A = random_csr(40, 40, 0.1, seed=66)
+        bc = betweenness_centrality(A, batch=5, seed=1)
+        assert bc.shape == (40,)
+        assert np.all(bc >= -1e-12)

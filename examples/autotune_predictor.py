@@ -2,17 +2,22 @@
 
 The paper's conclusion names, as future work, "using machine learning to
 predict the best choice of reordering combined with the best clustering
-scheme".  This example runs that pipeline:
+scheme".  The engine subsystem operationalises that pipeline; this
+example runs it end to end:
 
 1. sweep a training set of suite matrices (results are disk-cached),
 2. fit the k-NN :class:`ConfigurationPredictor` on structural features,
-3. predict configurations for held-out matrices and compare the
-   predicted configuration's speedup with the oracle best.
+3. serve held-out matrices through an :class:`SpGEMMEngine` running the
+   ``predictor`` policy (backed by the fitted predictor), comparing the
+   engine's chosen plan against the sweep oracle,
+4. contrast with the ``autotune`` policy, which needs no training but
+   pays measured trials at planning time.
 
 Run:  python examples/autotune_predictor.py
 """
 
 from repro.analysis import ConfigurationPredictor
+from repro.engine import SpGEMMEngine
 from repro.experiments import ExperimentConfig, cached_matrix_sweep
 from repro.matrices import get_matrix
 
@@ -31,18 +36,34 @@ def main() -> None:
     train_sweeps = [cached_matrix_sweep(n, cfg) for n in TRAIN]
 
     pred = ConfigurationPredictor(k=3).fit(train_mats, train_sweeps)
+    pred_engine = SpGEMMEngine(policy="predictor", predictor=pred, config=cfg)
+    tune_engine = SpGEMMEngine(policy="autotune", config=cfg)
 
-    print(f"\n{'matrix':<10} {'predicted config':<26} {'achieved':>9} {'oracle':>9}")
+    print(f"\n{'matrix':<10} {'predictor plan':<26} {'autotune plan':<26} {'achieved':>9} {'oracle':>9}")
     for name in TEST:
         A = get_matrix(name)
         sweep = cached_matrix_sweep(name, cfg)
-        (algo, variant), voters = pred.predict_detail(A)
-        if variant == "cluster":
+        p_plan = pred_engine.plan_for(A)
+        t_plan = tune_engine.plan_for(A)
+        if p_plan.clustering == "hierarchical":
             achieved = sweep.baseline_time / sweep.hierarchical.time
+        elif p_plan.clustering in ("fixed", "variable"):
+            achieved = sweep.speedup(p_plan.clustering, p_plan.reordering)
         else:
-            achieved = sweep.speedup(variant, algo)
+            achieved = sweep.speedup("rowwise", p_plan.reordering)
         _, oracle = ConfigurationPredictor.best_configuration(sweep)
-        print(f"{name:<10} {algo + ' + ' + variant:<26} {achieved:>8.2f}x {oracle:>8.2f}x")
+        print(f"{name:<10} {p_plan.label:<26} {t_plan.label:<26} {achieved:>8.2f}x {oracle:>8.2f}x")
+
+    # The engines execute what they planned — run one multiply each so
+    # both amortisation ledgers have an entry (note the autotune
+    # ledger's larger invested cost: its measured trials are charged).
+    A = get_matrix(TEST[0])
+    pred_engine.multiply(A)
+    tune_engine.multiply(A)
+    print("\npredictor-policy engine ledger after one multiply:")
+    print(pred_engine.stats().summary())
+    print("\nautotune-policy engine ledger after one multiply:")
+    print(tune_engine.stats().summary())
 
 
 if __name__ == "__main__":

@@ -1,23 +1,23 @@
-"""Betweenness centrality — the paper's motivating application (§4.2).
+"""Betweenness centrality on the execution engine (paper §4.2, §4.4).
 
-BC executes SpGEMM thousands of times over the same ``A`` matrix, which
-is exactly the regime where a one-off clustering/reordering of ``A``
-amortises.  This example:
+BC executes SpGEMM thousands of times over the same ``A`` matrix — the
+regime where a one-off clustering/reordering of ``A`` amortises, and the
+regime :class:`repro.engine.SpGEMMEngine` is built for.  This example:
 
 1. builds a road-network-style graph,
 2. computes sampled-source BC with the linear-algebra formulation,
-3. generates the BC frontier matrices (the paper's tall-skinny operands)
-   and compares row-wise vs hierarchical cluster-wise SpGEMM cost per
-   BFS wave on the simulated machine,
-4. reports how many waves amortise the clustering preprocessing.
+3. feeds the BC frontier matrices (the paper's tall-skinny operands)
+   through the engine's batch API — the engine plans once, preprocesses
+   once, and reuses both across every BFS wave,
+4. prints the engine's amortisation ledger: invested model time,
+   cumulative gain, and the break-even wave count (paper Fig. 10).
 
 Run:  python examples/betweenness_centrality.py
 """
 
 import numpy as np
 
-from repro.clustering import hierarchical_clustering
-from repro.experiments import ExperimentConfig, machine_for
+from repro.engine import SpGEMMEngine
 from repro.matrices import generators as G
 from repro.workloads import bc_frontiers, betweenness_centrality
 
@@ -31,34 +31,24 @@ def main() -> None:
     print("top-5 central vertices:", top.tolist())
     print("their scores:", np.round(bc[top], 1).tolist())
 
-    cfg = ExperimentConfig()
-    machine = machine_for(cfg)
     frontiers = bc_frontiers(A, batch=96, depth=10, seed=1)
 
-    print("\ncluster A once (hierarchical, Alg. 3), reuse across BFS waves:")
-    hc = hierarchical_clustering(A, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th)
-    Ac = hc.to_csr_cluster(A)
-    pre = machine.cost.preprocessing_time(hc.work, kind="kernel")
+    print("\nengine (autotune policy): plan once, execute every BFS wave")
+    engine = SpGEMMEngine(policy="autotune")
+    products = engine.multiply_many(A, frontiers.frontiers)
+    plan = engine.plan_for(A, frontiers.frontiers[0])
 
-    total_base = 0.0
-    total_opt = 0.0
-    print(f"{'wave':>5} {'frontier nnz':>13} {'row-wise':>12} {'cluster-wise':>13} {'speedup':>8}")
-    for i, F in enumerate(frontiers.frontiers):
-        t_row = machine.run_rowwise(A, F).time
-        t_cl = machine.run_clusterwise(Ac, F).time
-        total_base += t_row
-        total_opt += t_cl
-        sp = t_row / t_cl if t_cl else float("nan")
-        print(f"{i + 1:>5} {F.nnz:>13} {t_row:>12,.0f} {t_cl:>13,.0f} {sp:>8.2f}")
+    print(f"chosen plan: {plan.label}")
+    print(f"predicted speedup per wave: {plan.predicted_speedup:.2f}x")
+    be = plan.break_even_iterations()
+    be_s = f"{be:.0f}" if np.isfinite(be) else "inf"
+    print(f"break-even (plan): ~{be_s} waves "
+          "(BC at 5% sampling on a 20M-vertex graph runs ~O(1000·diameter) SpGEMMs — §4.2)")
 
-    gain_per_sequence = total_base - total_opt
-    print(f"\npreprocessing cost: {pre:,.0f} model units")
-    if gain_per_sequence > 0:
-        waves = pre / (gain_per_sequence / len(frontiers.frontiers))
-        print(f"amortised after ~{waves:,.0f} BFS waves "
-              f"(BC at 5% sampling on a 20M-vertex graph runs ~O(1000·diameter) SpGEMMs — §4.2)")
-    else:
-        print("clustering did not pay off on this input (paper: ~70% of inputs improve)")
+    print(f"\nwaves executed: {len(products)}, "
+          f"output nnz per wave: {[C.nnz for C in products[:5]]}…")
+    print("\nengine ledger:")
+    print(engine.stats().summary())
 
 
 if __name__ == "__main__":

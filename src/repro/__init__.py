@@ -12,6 +12,8 @@ The package is organised bottom-up (see DESIGN.md):
 * :mod:`repro.workloads` — A² and tall-skinny (BC frontier) workloads.
 * :mod:`repro.analysis` — metrics, performance profiles, table renderers.
 * :mod:`repro.experiments` — sweep orchestration for every table/figure.
+* :mod:`repro.engine` — auto-tuning execution engine with plan caching
+  and amortised preprocessing (the serving layer).
 """
 
 from .core import (
@@ -22,8 +24,9 @@ from .core import (
     spgemm_rowwise,
     spgemm_topk_similarity,
 )
+from .engine import ExecutionPlan, SpGEMMEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "COOMatrix",
@@ -32,5 +35,7 @@ __all__ = [
     "spgemm_rowwise",
     "cluster_spgemm",
     "spgemm_topk_similarity",
+    "SpGEMMEngine",
+    "ExecutionPlan",
     "__version__",
 ]

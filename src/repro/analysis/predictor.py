@@ -161,11 +161,18 @@ class ConfigurationPredictor:
     def _standardise(self, f: np.ndarray) -> np.ndarray:
         return (f - self._mu) / self._sigma
 
-    def predict_detail(self, A: CSRMatrix) -> tuple[tuple[str, str], list[tuple[tuple[str, str], float]]]:
-        """Predicted configuration + the (label, distance) of each voter."""
+    def predict_detail(
+        self, A: CSRMatrix, *, features: np.ndarray | None = None
+    ) -> tuple[tuple[str, str], list[tuple[tuple[str, str], float]]]:
+        """Predicted configuration + the (label, distance) of each voter.
+
+        ``features`` may supply a precomputed :func:`matrix_features`
+        vector (e.g. from an engine fingerprint) to skip the O(nnz)
+        feature pass.
+        """
         if not self._points:
             raise RuntimeError("predictor is not fitted")
-        f = self._standardise(matrix_features(A))
+        f = self._standardise(matrix_features(A) if features is None else np.asarray(features))
         dists = [float(np.linalg.norm(f - self._standardise(p.features))) for p in self._points]
         order = np.argsort(dists)[: self.k]
         voters = [(self._points[i].label, dists[i]) for i in order]
@@ -179,6 +186,6 @@ class ConfigurationPredictor:
                 return label, voters
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def predict(self, A: CSRMatrix) -> tuple[str, str]:
+    def predict(self, A: CSRMatrix, *, features: np.ndarray | None = None) -> tuple[str, str]:
         """Predicted (reordering, variant) for ``A``."""
-        return self.predict_detail(A)[0]
+        return self.predict_detail(A, features=features)[0]

@@ -1,0 +1,48 @@
+"""``repro.engine`` — auto-tuning SpGEMM execution engine (serving layer).
+
+The engine turns the repository's measurement machinery into a runtime:
+:class:`SpGEMMEngine` fingerprints operands, selects a
+(reordering, clustering, kernel) configuration via a pluggable planner
+policy, caches the resulting :class:`ExecutionPlan` keyed by sparsity
+pattern, amortises preprocessing across repeated multiplies, and
+accounts for when the investment breaks even (paper Fig. 10 / Table 4,
+§5 future work).  See DESIGN.md §6.
+"""
+
+from .engine import EngineStats, SpGEMMEngine
+from .fingerprint import MatrixFingerprint, fingerprint, value_digest
+from .plan import ExecutionPlan
+from .plan_cache import PlanCache, plan_cache_dir
+from .planner import (
+    AutotunePlanner,
+    Candidate,
+    HeuristicPlanner,
+    Planner,
+    PredictorPlanner,
+    PreparedOperand,
+    default_candidates,
+    default_training_corpus,
+    make_planner,
+    prepare_candidate,
+)
+
+__all__ = [
+    "SpGEMMEngine",
+    "EngineStats",
+    "ExecutionPlan",
+    "PlanCache",
+    "plan_cache_dir",
+    "MatrixFingerprint",
+    "fingerprint",
+    "value_digest",
+    "Planner",
+    "HeuristicPlanner",
+    "PredictorPlanner",
+    "AutotunePlanner",
+    "Candidate",
+    "PreparedOperand",
+    "default_candidates",
+    "default_training_corpus",
+    "make_planner",
+    "prepare_candidate",
+]

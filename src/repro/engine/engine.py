@@ -1,0 +1,423 @@
+"""The :class:`SpGEMMEngine` facade — plan once, execute many times.
+
+The engine is the serving layer the ROADMAP's production north star
+needs: callers hand it matrices and get products back, while the engine
+
+1. **fingerprints** the left operand (O(nnz), pattern-only),
+2. **plans** via the configured policy (heuristic / predictor /
+   autotune) — or reuses a cached plan when the pattern was seen before,
+3. **prepares** the operand (reorder + cluster build), reusing the
+   prepared form across calls with identical values,
+4. **executes** the planned kernel and un-permutes the result, so output
+   is bitwise-identical to :func:`~repro.core.spgemm.spgemm_rowwise` on
+   the original operands,
+5. **accounts**: cumulative planning / preprocessing / execution time
+   (both wall-clock and model units) and the break-even iteration count
+   at which the one-off costs amortise (paper Fig. 10, Table 4).
+
+Typical use::
+
+    eng = SpGEMMEngine(policy="autotune")
+    C = eng.multiply(A)             # A², planned + preprocessed
+    C = eng.multiply(A)             # plan + prepared operand reused
+    Cs = eng.multiply_many(A, frontiers)   # BC-style batch
+    print(eng.stats().summary())
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+from ..core.cluster_spgemm import cluster_spgemm
+from ..core.csr import CSRMatrix
+from ..core.spgemm import spgemm_rowwise
+from ..experiments.config import ExperimentConfig
+from ..machine import SimulatedMachine
+from .fingerprint import MatrixFingerprint, fingerprint, pattern_digest, value_digest
+from .plan import ExecutionPlan
+from .plan_cache import PlanCache
+from .planner import Planner, PreparedOperand, make_planner, prepare_candidate
+
+__all__ = ["SpGEMMEngine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative engine accounting (amortisation ledger).
+
+    Wall-clock seconds are split into planning / preprocessing /
+    execution; model units track the simulated-machine economics that
+    the break-even computation uses: every multiply is charged its
+    plan's ``predicted_cost`` and credited the plan's ``baseline_cost``,
+    while planning trials and operand preparation are one-off
+    investments.
+    """
+
+    multiplies: int = 0
+    plans_built: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    operands_prepared: int = 0
+    operands_reused: int = 0
+    planning_seconds: float = 0.0
+    preprocess_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    model_planning_cost: float = 0.0
+    model_pre_cost: float = 0.0
+    model_executed_cost: float = 0.0
+    model_baseline_cost: float = 0.0
+    per_plan: dict = field(default_factory=dict)  # plan label → multiply count
+
+    # ------------------------------------------------------------------
+    @property
+    def invested_cost(self) -> float:
+        """One-off model units: planning trials + preprocessing."""
+        return self.model_planning_cost + self.model_pre_cost
+
+    @property
+    def cumulative_gain(self) -> float:
+        """Model units saved so far vs always running the baseline."""
+        return self.model_baseline_cost - self.model_executed_cost
+
+    @property
+    def speedup_to_date(self) -> float:
+        if self.model_executed_cost <= 0:
+            return float("nan")
+        return self.model_baseline_cost / self.model_executed_cost
+
+    def break_even_iterations(self) -> float:
+        """Multiplies (at the observed mean gain) to repay the invested
+        planning + preprocessing cost; ``inf`` without a positive gain."""
+        if self.multiplies == 0 or self.cumulative_gain <= 0:
+            return float("inf")
+        per_multiply_gain = self.cumulative_gain / self.multiplies
+        return self.invested_cost / per_multiply_gain
+
+    def amortization_progress(self) -> float:
+        """``cumulative_gain / invested_cost`` — ≥ 1.0 once the one-off
+        costs have fully paid for themselves (monotone non-decreasing
+        whenever the chosen plans beat the baseline)."""
+        if self.invested_cost <= 0:
+            return float("inf") if self.cumulative_gain > 0 else 0.0
+        return self.cumulative_gain / self.invested_cost
+
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            **asdict(self),
+            "invested_cost": self.invested_cost,
+            "cumulative_gain": self.cumulative_gain,
+            "break_even_iterations": self.break_even_iterations(),
+            "amortization_progress": self.amortization_progress(),
+        }
+
+    def summary(self) -> str:
+        be = self.break_even_iterations()
+        be_s = f"{be:.1f}" if be != float("inf") else "inf"
+        lines = [
+            f"multiplies          : {self.multiplies}",
+            f"plans built / hits  : {self.plans_built} / {self.plan_cache_hits}",
+            f"operands built/reuse: {self.operands_prepared} / {self.operands_reused}",
+            f"wall  plan/pre/exec : {self.planning_seconds:.3f}s / {self.preprocess_seconds:.3f}s / {self.execute_seconds:.3f}s",
+            f"model invested      : {self.invested_cost:,.0f} units",
+            f"model gain to date  : {self.cumulative_gain:,.0f} units (speedup {self.speedup_to_date:.2f}x)",
+            f"break-even at       : {be_s} multiplies (progress {self.amortization_progress():.2f})",
+        ]
+        for label, n in sorted(self.per_plan.items()):
+            lines.append(f"  plan {label}: {n} multiplies")
+        return "\n".join(lines)
+
+
+class SpGEMMEngine:
+    """Auto-tuning SpGEMM execution engine (see module docstring).
+
+    Parameters
+    ----------
+    policy:
+        ``"heuristic"``, ``"predictor"`` or ``"autotune"`` — see
+        :mod:`repro.engine.planner`.
+    config:
+        :class:`~repro.experiments.config.ExperimentConfig` supplying
+        machine and clustering parameters.
+    machine:
+        Simulated machine used for planning trials and cost accounting.
+    plan_cache:
+        Shared :class:`~repro.engine.plan_cache.PlanCache`; a private
+        in-memory cache is created when omitted.
+    persist_plans:
+        Convenience flag: create the private cache with on-disk
+        persistence (ignored when ``plan_cache`` is given).
+    predictor:
+        Optional fitted predictor for the ``"predictor"`` policy.
+    top_k:
+        Trial budget for the ``"autotune"`` policy.
+    seed:
+        Seed for reorderings and feature sampling (plan determinism).
+    operand_cache_size:
+        Prepared-operand LRU capacity (value-exact reuse).
+    """
+
+    def __init__(
+        self,
+        policy: str = "heuristic",
+        *,
+        config: ExperimentConfig | None = None,
+        machine: SimulatedMachine | None = None,
+        plan_cache: PlanCache | None = None,
+        persist_plans: bool = False,
+        predictor=None,
+        top_k: int = 3,
+        seed: int = 0,
+        operand_cache_size: int = 8,
+    ) -> None:
+        from ..experiments.runner import machine_for
+
+        self.cfg = config or ExperimentConfig()
+        self.machine = machine or machine_for(self.cfg)
+        self.seed = int(seed)
+        kw = dict(cfg=self.cfg, machine=self.machine, seed=self.seed)
+        if policy == "predictor":
+            kw["predictor"] = predictor
+        elif policy == "autotune":
+            kw["top_k"] = top_k
+        self.planner: Planner = make_planner(policy, **kw)
+        self.policy = policy
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(persist=persist_plans)
+        self._operands: "OrderedDict[tuple, PreparedOperand]" = OrderedDict()
+        self._operand_cap = max(1, int(operand_cache_size))
+        self._fingerprints: "OrderedDict[str, MatrixFingerprint]" = OrderedDict()
+        self._stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _fingerprint(self, A: CSRMatrix) -> MatrixFingerprint:
+        # The digest is recomputed every call (a fast C-level hash); only
+        # the sampled feature sketch is memoised, keyed by that digest —
+        # so the memo can never serve a stale entry for a different
+        # pattern, however objects are allocated.
+        digest = pattern_digest(A)
+        fp = self._fingerprints.get(digest)
+        if fp is None:
+            fp = fingerprint(A, seed=self.seed, digest=digest)
+            self._fingerprints[digest] = fp
+            while len(self._fingerprints) > 64:
+                self._fingerprints.popitem(last=False)
+        return fp
+
+    def _machine_token(self) -> str:
+        # Plans embed costs measured on a specific machine model; a
+        # shared PlanCache must not serve them to an engine whose
+        # machine differs from what cfg.cache_key() implies.
+        from dataclasses import asdict
+
+        m = self.machine
+        cost = ",".join(f"{k}={v}" for k, v in sorted(asdict(m.cost).items()))
+        return f"m{m.n_threads}t{m.cache_lines}l{m.line_bytes}b[{cost}]"
+
+    def _plan_key(self, fp: MatrixFingerprint, workload: str) -> str:
+        return "|".join(
+            [
+                fp.key,
+                workload,
+                self.planner.cache_token,
+                self.cfg.cache_key(),
+                self._machine_token(),
+                str(self.seed),
+            ]
+        )
+
+    @staticmethod
+    def _infer_workload(A: CSRMatrix, B: CSRMatrix | None) -> str:
+        if B is None or B is A:
+            return "asquare"
+        if B.ncols < B.nrows:
+            return "tallskinny"
+        return "general"
+
+    def plan_for(
+        self, A: CSRMatrix, B: CSRMatrix | None = None, *, workload: str | None = None
+    ) -> ExecutionPlan:
+        """The plan the engine would execute for ``A @ B``.
+
+        Introspection API: building a missing plan is real (and
+        ledgered) work, but cache lookups made here do **not** bump the
+        hit/miss counters — only :meth:`multiply` does, so the ledger
+        counts executions, not displays.
+        """
+        return self._plan_for(A, B, workload=workload, count_lookup=False)
+
+    def _plan_for(
+        self,
+        A: CSRMatrix,
+        B: CSRMatrix | None = None,
+        *,
+        workload: str | None = None,
+        count_lookup: bool = True,
+    ) -> ExecutionPlan:
+        Bx = A if B is None else B
+        workload = workload or self._infer_workload(A, B)
+        t0 = time.perf_counter()
+        fp = self._fingerprint(A)
+        key = self._plan_key(fp, workload)
+        plan = self.plan_cache.get(key)
+        if plan is not None:
+            if count_lookup:
+                self._stats.plan_cache_hits += 1
+        else:
+            if count_lookup:
+                self._stats.plan_cache_misses += 1
+            plan = self.planner.plan(A, Bx, fp, workload)
+            self.plan_cache.put(key, plan)
+            self._stats.plans_built += 1
+            self._stats.model_planning_cost += plan.planning_cost
+            # The planner already materialised the winning operand for
+            # its measurement — seed the operand cache with it so the
+            # preprocessing is never paid twice.
+            prep = self.planner.take_prepared()
+            if prep is not None:
+                self._stats.operands_prepared += 1
+                self._stats.model_pre_cost += prep.pre_cost
+                self._store_operand(
+                    (plan.fingerprint_key, plan.reordering, plan.clustering, value_digest(A)), prep
+                )
+        self._stats.planning_seconds += time.perf_counter() - t0
+        return plan
+
+    # ------------------------------------------------------------------
+    # Preparation
+    # ------------------------------------------------------------------
+    def prepare(self, A: CSRMatrix, plan: ExecutionPlan) -> PreparedOperand:
+        """Materialise (or reuse) the plan's reordered/clustered operand."""
+        key = (plan.fingerprint_key, plan.reordering, plan.clustering, value_digest(A))
+        prep = self._operands.get(key)
+        if prep is not None:
+            self._operands.move_to_end(key)
+            self._stats.operands_reused += 1
+            return prep
+        t0 = time.perf_counter()
+        prep = prepare_candidate(
+            A, plan.reordering, plan.clustering, self.cfg, self.machine.cost, seed=plan.seed
+        )
+        self._stats.preprocess_seconds += time.perf_counter() - t0
+        self._stats.operands_prepared += 1
+        self._stats.model_pre_cost += prep.pre_cost
+        self._store_operand(key, prep)
+        return prep
+
+    def _store_operand(self, key: tuple, prep: PreparedOperand) -> None:
+        self._operands[key] = prep
+        while len(self._operands) > self._operand_cap:
+            self._operands.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def multiply(
+        self,
+        A: CSRMatrix,
+        B: CSRMatrix | None = None,
+        *,
+        workload: str | None = None,
+    ) -> CSRMatrix:
+        """Compute ``A @ B`` (``A²`` when ``B`` is omitted) via the plan.
+
+        The result equals :func:`~repro.core.spgemm.spgemm_rowwise` on
+        the original operands bitwise: the plan's permutation gathers
+        whole rows (``P·A``), so each output row's summation order is
+        unchanged and only row placement is inverted at the end.
+        """
+        Bx = A if B is None else B
+        if A.ncols != Bx.nrows:
+            raise ValueError(f"inner dimensions differ: {A.shape} x {Bx.shape}")
+        plan = self._plan_for(A, B, workload=workload)
+        prep = self.prepare(A, plan)
+        return self._execute(plan, prep, Bx)
+
+    def _execute(self, plan: ExecutionPlan, prep: PreparedOperand, Bx: CSRMatrix) -> CSRMatrix:
+        """Run the planned kernel and record the per-multiply ledger."""
+        t0 = time.perf_counter()
+        if plan.kernel == "rowwise":
+            C = spgemm_rowwise(prep.Ar, Bx, accumulator=plan.accumulator)
+        else:
+            C = cluster_spgemm(prep.Ac, Bx, restore_order=True)
+        if prep.inv is not None:
+            C = C.permute_rows(prep.inv)
+        self._stats.execute_seconds += time.perf_counter() - t0
+        self._stats.multiplies += 1
+        self._stats.model_executed_cost += plan.predicted_cost
+        self._stats.model_baseline_cost += plan.baseline_cost
+        self._stats.per_plan[plan.label] = self._stats.per_plan.get(plan.label, 0) + 1
+        return C
+
+    def multiply_many(
+        self, A: CSRMatrix, Bs, *, workload: str | None = None
+    ) -> list[CSRMatrix]:
+        """Batch API: ``[A @ B for B in Bs]`` with one shared plan.
+
+        This is the BC-frontier shape (paper §4.4): ``A`` is
+        fingerprinted, planned and prepared exactly once, then reused
+        across the whole sequence — per-wave overhead is O(1) in
+        ``nnz(A)``.  Each reuse is counted as a plan-cache hit (and an
+        operand reuse) in the ledger, matching what per-call
+        :meth:`multiply` would have recorded.
+        """
+        Bs = list(Bs)
+        if not Bs:
+            return []
+        wl = workload or self._infer_workload(A, Bs[0])
+        plan = self._plan_for(A, Bs[0], workload=wl)
+        prep = self.prepare(A, plan)
+        out = []
+        for i, B in enumerate(Bs):
+            if A.ncols != B.nrows:
+                raise ValueError(f"inner dimensions differ: {A.shape} x {B.shape}")
+            if i:
+                self._stats.plan_cache_hits += 1
+                self._stats.operands_reused += 1
+            out.append(self._execute(plan, prep, B))
+        return out
+
+    def power(self, A: CSRMatrix, exponent: int) -> CSRMatrix:
+        """``A**exponent`` by repeated left-multiplication with ``A``.
+
+        Keeping ``A`` as the planned left operand means one plan and one
+        prepared operand serve all ``exponent - 1`` multiplies (resolved
+        once, like :meth:`multiply_many`).
+        """
+        if exponent < 1:
+            raise ValueError("exponent must be >= 1")
+        if A.nrows != A.ncols:
+            raise ValueError(f"power needs a square matrix, got {A.shape}")
+        C = A
+        plan = prep = None
+        for _ in range(exponent - 1):
+            if plan is None:
+                plan = self._plan_for(A, C, workload="asquare")
+                prep = self.prepare(A, plan)
+            else:
+                self._stats.plan_cache_hits += 1
+                self._stats.operands_reused += 1
+            C = self._execute(plan, prep, C)
+        return C
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """Snapshot of the cumulative engine accounting."""
+        snap = replace(self._stats)
+        snap.per_plan = dict(self._stats.per_plan)
+        return snap
+
+    def reset_stats(self) -> None:
+        self._stats = EngineStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpGEMMEngine(policy={self.policy!r}, plans={len(self.plan_cache)}, "
+            f"multiplies={self._stats.multiplies})"
+        )

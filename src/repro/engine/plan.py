@@ -1,0 +1,181 @@
+"""Immutable execution plans with cost and amortisation accounting.
+
+An :class:`ExecutionPlan` records *everything* needed to execute one
+SpGEMM configuration deterministically — the reordering, the clustering
+scheme and its parameters, the kernel and accumulator — plus the model
+costs the planner established:
+
+* ``baseline_cost`` — model time of row-wise SpGEMM on the original
+  order (the universal baseline of the paper's evaluation);
+* ``predicted_cost`` — model time per multiply under this plan;
+* ``pre_cost`` — one-off preprocessing (reordering + cluster build)
+  model time, the numerator of Fig. 10's amortisation study;
+* ``planning_cost`` — model time the planner itself spent on trial
+  simulations (autotuning is itself preprocessing to amortise).
+
+All costs are in simulated-machine model units
+(:class:`~repro.machine.cost.CostModel`); wall-clock never enters a
+plan, which keeps plans deterministic and serialisable.  Plans are
+frozen dataclasses with JSON round-trip (:meth:`ExecutionPlan.to_json` /
+:meth:`ExecutionPlan.from_json`) so the plan cache can persist them on
+disk next to :mod:`repro.experiments.cache`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, replace
+
+__all__ = ["ExecutionPlan", "CLUSTERINGS", "KERNELS"]
+
+#: Valid clustering schemes (``None`` means plain CSR).
+CLUSTERINGS = (None, "fixed", "variable", "hierarchical")
+#: Valid kernels.
+KERNELS = ("rowwise", "cluster")
+_ACCUMULATORS = ("sort", "dense", "hash")
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One fully-specified SpGEMM configuration + its cost accounting.
+
+    Attributes
+    ----------
+    reordering:
+        Registry name from :mod:`repro.reordering` (``"original"`` for
+        the natural order).  Applied as a *row* permutation (gather) so
+        execution results are bitwise-identical to row-wise SpGEMM on
+        the original operand after un-permuting.
+    clustering:
+        ``None`` (plain CSR) or one of ``fixed`` / ``variable`` /
+        ``hierarchical``.  Hierarchical clustering performs its own row
+        reordering (paper §3.4), so it composes with
+        ``reordering="original"``.
+    kernel:
+        ``"rowwise"`` (Gustavson) or ``"cluster"`` (paper Alg. 1);
+        ``"cluster"`` requires a clustering.
+    accumulator:
+        Sparse-accumulator strategy for the row-wise kernel.
+    policy:
+        Name of the planner policy that produced the plan.
+    workload:
+        Workload hint the plan was made for (``asquare`` /
+        ``tallskinny`` / ``general``).
+    fingerprint_key:
+        :attr:`~repro.engine.fingerprint.MatrixFingerprint.key` of the
+        operand pattern the plan was made for.
+    seed:
+        Seed used for the reordering / feature sampling.
+    params:
+        Clustering parameters as a sorted tuple of ``(name, value)``
+        pairs (kept as a tuple so the plan stays hashable).
+    """
+
+    reordering: str
+    clustering: str | None
+    kernel: str
+    accumulator: str = "sort"
+    policy: str = "heuristic"
+    workload: str = "asquare"
+    fingerprint_key: str = ""
+    seed: int = 0
+    params: tuple[tuple[str, float], ...] = ()
+    predicted_cost: float = math.nan
+    baseline_cost: float = math.nan
+    pre_cost: float = 0.0
+    planning_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+        if self.clustering not in CLUSTERINGS:
+            raise ValueError(f"unknown clustering {self.clustering!r}")
+        if self.accumulator not in _ACCUMULATORS:
+            raise ValueError(f"unknown accumulator {self.accumulator!r}")
+        if self.kernel == "cluster" and self.clustering is None:
+            raise ValueError("cluster kernel requires a clustering scheme")
+        if self.clustering == "hierarchical" and self.reordering != "original":
+            raise ValueError("hierarchical clustering embeds its own reordering")
+
+    # ------------------------------------------------------------------
+    # Cost / amortisation accounting
+    # ------------------------------------------------------------------
+    @property
+    def predicted_gain(self) -> float:
+        """Model time saved per multiply vs the row-wise baseline."""
+        return self.baseline_cost - self.predicted_cost
+
+    @property
+    def predicted_speedup(self) -> float:
+        if not self.predicted_cost or math.isnan(self.predicted_cost):
+            return float("nan")
+        return self.baseline_cost / self.predicted_cost
+
+    @property
+    def invested_cost(self) -> float:
+        """One-off model time: planning trials + preprocessing."""
+        return self.pre_cost + self.planning_cost
+
+    def break_even_iterations(self) -> float:
+        """Multiplies needed to amortise :attr:`invested_cost` (Fig. 10).
+
+        ``inf`` when the plan does not beat the baseline per multiply.
+        """
+        gain = self.predicted_gain
+        if not gain or gain <= 0 or math.isnan(gain):
+            return float("inf")
+        return self.invested_cost / gain
+
+    def amortized_cost(self, iterations: int) -> float:
+        """Mean model cost per multiply after ``iterations`` runs."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        return self.invested_cost / iterations + self.predicted_cost
+
+    # ------------------------------------------------------------------
+    # Presentation & serialisation
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Short human-readable configuration name."""
+        cl = self.clustering or "csr"
+        return f"{self.reordering}+{cl}/{self.kernel}"
+
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+    def with_accounting(
+        self,
+        *,
+        predicted_cost: float,
+        baseline_cost: float,
+        pre_cost: float,
+        planning_cost: float,
+    ) -> "ExecutionPlan":
+        """Copy of the plan with the accounting fields filled in."""
+        return replace(
+            self,
+            predicted_cost=predicted_cost,
+            baseline_cost=baseline_cost,
+            pre_cost=pre_cost,
+            planning_cost=planning_cost,
+        )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["params"] = [list(p) for p in self.params]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExecutionPlan":
+        d = dict(d)
+        d["params"] = tuple((str(k), v) for k, v in d.get("params", ()))
+        return cls(**d)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionPlan":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,151 @@
+"""Plan cache: in-memory LRU with optional on-disk persistence.
+
+Plans are keyed by the operand's structural fingerprint (plus workload,
+policy and config — see :meth:`repro.engine.engine.SpGEMMEngine`), so a
+"same pattern, new values" matrix reuses its plan without re-planning.
+Persistence writes one JSON file per plan under
+``<REPRO_CACHE_DIR>/plans`` (default ``.repro_cache/plans``), alongside
+the sweep pickles of :mod:`repro.experiments.cache`, and honours the
+same ``REPRO_NO_CACHE=1`` kill switch.  Corrupt or stale entries are
+reported with :func:`warnings.warn` and treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import warnings
+from collections import OrderedDict
+from pathlib import Path
+
+from .plan import ExecutionPlan
+
+__all__ = ["PlanCache", "plan_cache_dir"]
+
+
+def _persist_disabled() -> bool:
+    # One source of truth for the REPRO_NO_CACHE kill switch.
+    from ..experiments.cache import _disabled
+
+    return _disabled()
+
+
+def plan_cache_dir() -> Path:
+    """On-disk plan directory (created on demand)."""
+    from ..experiments.cache import cache_dir
+
+    p = cache_dir() / "plans"
+    p.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+class PlanCache:
+    """LRU cache of :class:`~repro.engine.plan.ExecutionPlan` objects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum in-memory entries; least-recently-used plans are
+        evicted first (they stay on disk when persisting).
+    persist:
+        When ``True``, plans are also written to / read from
+        :func:`plan_cache_dir` as JSON, so a new process skips planning
+        for patterns it has already seen.  ``REPRO_NO_CACHE=1``
+        disables the disk layer entirely.
+    """
+
+    def __init__(self, capacity: int = 128, *, persist: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.persist = bool(persist)
+        self._entries: "OrderedDict[str, ExecutionPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return plan_cache_dir() / f"plan_{digest}.json"
+
+    def _load_disk(self, key: str) -> ExecutionPlan | None:
+        if not self.persist or _persist_disabled():
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            return ExecutionPlan.from_json(path.read_text())
+        except Exception as exc:
+            warnings.warn(
+                f"discarding corrupt plan-cache entry {path.name}: {exc}; the plan will be rebuilt",
+                stacklevel=3,
+            )
+            return None
+
+    def _store_disk(self, key: str, plan: ExecutionPlan) -> None:
+        if not self.persist or _persist_disabled():
+            return
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(plan.to_json())
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> ExecutionPlan | None:
+        """Look up a plan; counts a hit/miss and refreshes LRU order."""
+        plan = self._entries.get(key)
+        if plan is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+        plan = self._load_disk(key)
+        if plan is not None:
+            self.disk_hits += 1
+            self.hits += 1
+            self._insert(key, plan)
+            return plan
+        self.misses += 1
+        return None
+
+    def put(self, key: str, plan: ExecutionPlan) -> None:
+        self._insert(key, plan)
+        self._store_disk(key, plan)
+
+    def _insert(self, key: str, plan: ExecutionPlan) -> None:
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """In-memory entry count (persisted plans on disk are not counted)."""
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """In-memory membership only — ``get`` may still succeed from
+        disk when persistence is on, and unlike ``get`` this never
+        touches counters or LRU order."""
+        return key in self._entries
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop all in-memory entries; ``disk=True`` also deletes every
+        persisted plan file under :func:`plan_cache_dir` (shared across
+        processes — use deliberately)."""
+        self._entries.clear()
+        if disk and self.persist and not _persist_disabled():
+            for path in plan_cache_dir().glob("plan_*.json"):
+                path.unlink(missing_ok=True)
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+        }

@@ -1,15 +1,28 @@
 """On-disk result cache so the nine benches share one suite sweep.
 
 A full-suite sweep takes minutes; each bench then renders a different
-table/figure from the same measurements.  Sweeps are pickled under
-``.repro_cache/`` keyed by (matrix, config hash) and invalidated by
-changing any config field.  Set ``REPRO_NO_CACHE=1`` to force re-runs.
+table/figure from the same measurements.  Sweeps are pickled under the
+cache directory keyed by (matrix, config hash) and invalidated by
+changing any config field.  Corrupt or stale entries are reported with
+:func:`warnings.warn` (naming the offending file) and re-run.
+
+Environment variables
+---------------------
+``REPRO_CACHE_DIR``
+    Cache directory root (default ``.repro_cache`` under the current
+    working directory).  The engine's plan cache persists beneath it as
+    ``<REPRO_CACHE_DIR>/plans``.
+``REPRO_NO_CACHE``
+    Any value other than empty/``0`` disables the cache entirely (no
+    reads, no writes) — every sweep and plan is recomputed.  CI sets
+    this so results never depend on stale artefacts.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from pathlib import Path
 
 from .config import ExperimentConfig
@@ -33,8 +46,14 @@ def _load(path: Path):
     try:
         with path.open("rb") as fh:
             return pickle.load(fh)
-    except Exception:
-        return None  # corrupt/stale cache entries are silently re-run
+    except Exception as exc:
+        warnings.warn(
+            f"discarding corrupt repro cache entry {path.name} ({exc!r}); "
+            "the sweep will be re-run — delete the file or set REPRO_NO_CACHE=1 "
+            "to silence this",
+            stacklevel=3,
+        )
+        return None
 
 
 def _store(path: Path, obj) -> None:

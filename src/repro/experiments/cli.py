@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments.cli fig2          # one figure
     python -m repro.experiments.cli table2 --suite quick
     python -m repro.experiments.cli all --suite full
+    python -m repro.experiments.cli engine --matrix pdb1 --policy autotune --iters 5
 
 Prints the same paper-style tables the benchmark harness saves under
 ``benchmarks/results/`` (the pytest benches additionally time the
@@ -143,7 +144,29 @@ def table4(args) -> str:
     )
 
 
-COMMANDS = {
+def engine_demo(args) -> str:
+    """Run the execution engine on one suite matrix and report the plan,
+    amortisation ledger and plan-cache behaviour (the ``engine`` command)."""
+    from ..engine import SpGEMMEngine
+    from ..matrices import get_matrix
+
+    A = get_matrix(args.matrix)
+    eng = SpGEMMEngine(policy=args.policy, config=ExperimentConfig())
+    for _ in range(max(1, args.iters)):
+        eng.multiply(A)
+    plan = eng.plan_for(A)
+    lines = [
+        f"engine demo: {args.matrix} (n={A.nrows}, nnz={A.nnz}), policy={args.policy}",
+        f"plan: {plan.label}   predicted speedup {plan.predicted_speedup:.2f}x, "
+        f"break-even after {plan.break_even_iterations():.1f} multiplies",
+        "",
+        eng.stats().summary(),
+    ]
+    return "\n".join(lines)
+
+
+#: Paper artefacts — what ``all`` regenerates.
+ARTEFACTS = {
     "fig2": fig2,
     "fig3": fig3,
     "fig8": fig8,
@@ -155,14 +178,24 @@ COMMANDS = {
     "table4": table4,
 }
 
+COMMANDS = {**ARTEFACTS, "engine": engine_demo}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.experiments.cli", description=__doc__)
     parser.add_argument("what", choices=[*COMMANDS, "all"], help="artefact to regenerate")
     parser.add_argument("--suite", default="standard", choices=["quick", "standard", "full"])
     parser.add_argument("--verbose", action="store_true", help="print sweep progress")
+    parser.add_argument("--matrix", default="pdb1", help="suite matrix for the engine command")
+    parser.add_argument(
+        "--policy",
+        default="autotune",
+        choices=["heuristic", "predictor", "autotune"],
+        help="planner policy for the engine command",
+    )
+    parser.add_argument("--iters", type=int, default=5, help="multiplies to run in the engine command")
     args = parser.parse_args(argv)
-    targets = list(COMMANDS) if args.what == "all" else [args.what]
+    targets = list(ARTEFACTS) if args.what == "all" else [args.what]
     for t in targets:
         print(COMMANDS[t](args))
         print()

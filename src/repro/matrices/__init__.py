@@ -3,7 +3,7 @@ and MatrixMarket I/O (DESIGN.md §2's dataset substitution)."""
 
 from . import generators
 from .mmio import read_matrix_market, write_matrix_market
-from .perturb import scramble, scramble_partial
+from .perturb import perturb_values, scramble, scramble_partial
 from .suite import REPRESENTATIVE, SUITE, TALLSKINNY, SuiteEntry, get_entry, get_matrix, suite_names
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "write_matrix_market",
     "scramble",
     "scramble_partial",
+    "perturb_values",
     "SUITE",
     "SuiteEntry",
     "REPRESENTATIVE",

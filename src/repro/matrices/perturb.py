@@ -14,7 +14,7 @@ import numpy as np
 
 from ..core.csr import CSRMatrix
 
-__all__ = ["scramble", "scramble_partial"]
+__all__ = ["scramble", "scramble_partial", "perturb_values"]
 
 
 def scramble(A: CSRMatrix, *, seed: int = 0) -> CSRMatrix:
@@ -39,3 +39,20 @@ def scramble_partial(A: CSRMatrix, *, fraction: float = 0.3, seed: int = 0) -> C
     chosen = rng.choice(n, size=k, replace=False)
     perm[np.sort(chosen)] = perm[chosen]
     return A.permute_symmetric(perm)
+
+
+def perturb_values(A: CSRMatrix, *, scale: float = 0.05, seed: int = 0) -> CSRMatrix:
+    """Same sparsity pattern, multiplicatively jittered values.
+
+    Models the iterative-workload regime (BC waves, AMG cycles, Markov
+    iterations) where values evolve while the pattern is fixed — exactly
+    the case the engine's pattern-keyed plan cache must recognise as a
+    hit ("same pattern, new values" reuses the plan).
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be >= 0, got {scale}")
+    rng = np.random.default_rng(seed)
+    factors = 1.0 + scale * rng.standard_normal(A.nnz)
+    return CSRMatrix(
+        A.indptr.copy(), A.indices.copy(), A.values * factors, A.shape, check=False
+    )

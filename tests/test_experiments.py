@@ -65,6 +65,7 @@ def test_tallskinny_sweep_shape():
 
 def test_cached_sweep_roundtrip(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)  # test the cache even when CI disables it
     cfg = ExperimentConfig(n_threads=2, cache_lines=64, reorderings=("shuffled",))
     s1 = cached_matrix_sweep("grid2d_5pt_0", cfg)
     s2 = cached_matrix_sweep("grid2d_5pt_0", cfg)  # from disk

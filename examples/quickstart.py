@@ -8,15 +8,23 @@ Reproduces, executably, the schematic figures of the paper:
 * Fig. 6 — the CSR_Cluster layout for fixed and variable clusters,
 * Fig. 7 — similar-row discovery via binarised A·Aᵀ (Alg. 3's input),
 
-then runs every SpGEMM variant and shows hierarchical clustering
-speeding up a scrambled block matrix on the simulated machine.
+then runs every SpGEMM variant, shows the declarative pipeline-spec API
+naming whole configurations, and shows hierarchical clustering speeding
+up a scrambled block matrix on the simulated machine.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import CSRMatrix, COOMatrix, cluster_spgemm, spgemm_rowwise, spgemm_topk_similarity
+from repro import (
+    COOMatrix,
+    CSRMatrix,
+    PipelineSpec,
+    cluster_spgemm,
+    spgemm_rowwise,
+    spgemm_topk_similarity,
+)
 from repro.clustering import hierarchical_clustering, variable_length_clustering
 from repro.core import CSRCluster
 from repro.machine import SimulatedMachine
@@ -60,6 +68,14 @@ def main() -> None:
     C_row = spgemm_rowwise(A, A, accumulator="hash")
     C_cluster = cluster_spgemm(var, A, restore_order=True)
     print("row-wise (hash SPA) == cluster-wise:", C_row.allclose(C_cluster))
+
+    print("\n=== Pipeline specs: one string names a whole configuration ===")
+    C_ref = spgemm_rowwise(A, A)
+    for text in ("rcm+variable+cluster", "rcm+hierarchical:max_th=8+cluster", "degree+tiled:tile_cols=3"):
+        spec = PipelineSpec.parse(text)
+        C = spec.run(A)  # bitwise-identical to spgemm_rowwise(A, A)
+        ok = np.array_equal(C.values, C_ref.values)
+        print(f"  {text:38s} -> {spec}   bitwise vs row-wise: {ok}")
 
     print("\n=== Hierarchical clustering on a scrambled block matrix ===")
     big = scramble(G.block_diagonal(24, 16, density=0.5, seed=1), seed=7)

@@ -14,6 +14,8 @@ The package is organised bottom-up (see DESIGN.md):
 * :mod:`repro.experiments` — sweep orchestration for every table/figure.
 * :mod:`repro.engine` — auto-tuning execution engine with plan caching
   and amortised preprocessing (the serving layer).
+* :mod:`repro.pipeline` — unified component registry + declarative
+  :class:`PipelineSpec` (the one public way to name a configuration).
 """
 
 from .core import (
@@ -25,8 +27,9 @@ from .core import (
     spgemm_topk_similarity,
 )
 from .engine import ExecutionPlan, SpGEMMEngine
+from .pipeline import PipelineSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "COOMatrix",
@@ -37,5 +40,6 @@ __all__ = [
     "spgemm_topk_similarity",
     "SpGEMMEngine",
     "ExecutionPlan",
+    "PipelineSpec",
     "__version__",
 ]

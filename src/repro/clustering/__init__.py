@@ -1,7 +1,19 @@
 """Clustering strategies of the paper (§3): fixed-length, variable-length
-(Alg. 2) and hierarchical (Alg. 3)."""
+(Alg. 2) and hierarchical (Alg. 3).
 
-from .base import Clustering, clustering_stats
+Importing this package registers every strategy behind a name registry
+symmetric to :mod:`repro.reordering`'s: :func:`get_clustering` returns a
+uniform ``(A, **params) -> Clustering`` builder and
+:func:`available_clusterings` lists the registered scheme names.
+"""
+
+from .base import (
+    Clustering,
+    available_clusterings,
+    clustering_stats,
+    get_clustering,
+    register_clustering,
+)
 from .fixed import fixed_length_clustering
 from .hierarchical import hierarchical_clustering
 from .unionfind import UnionFind
@@ -10,6 +22,9 @@ from .variable import jaccard_sorted, variable_length_clustering
 __all__ = [
     "Clustering",
     "clustering_stats",
+    "register_clustering",
+    "get_clustering",
+    "available_clusterings",
     "UnionFind",
     "fixed_length_clustering",
     "variable_length_clustering",

@@ -10,13 +10,57 @@ performs row reordering during cluster formation", §3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..core.csr import CSRMatrix
 from ..core.csr_cluster import CSRCluster
 
-__all__ = ["Clustering", "clustering_stats"]
+__all__ = [
+    "Clustering",
+    "clustering_stats",
+    "register_clustering",
+    "get_clustering",
+    "available_clusterings",
+]
+
+# ----------------------------------------------------------------------
+# Clustering registry — symmetric to repro.reordering's registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[..., "Clustering"]] = {}
+
+
+def register_clustering(name: str):
+    """Decorator registering a strategy under the paper's scheme name.
+
+    Every registered strategy exposes the uniform signature
+    ``(A: CSRMatrix, **params) -> Clustering`` so callers (the pipeline
+    registry, the engine planner, the sweep runner) can build any scheme
+    without per-method constructors.
+    """
+
+    def deco(fn: Callable[..., "Clustering"]):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate clustering name {name!r}")
+        _REGISTRY[name] = fn
+        fn.clustering_name = name
+        return fn
+
+    return deco
+
+
+def get_clustering(name: str) -> Callable[..., "Clustering"]:
+    """The registered builder ``(A, **params) -> Clustering`` for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown clustering {name!r}; available: {sorted(_REGISTRY)}") from None
+
+
+def available_clusterings() -> list[str]:
+    """Registered scheme names, in registration (paper §3) order."""
+    return list(_REGISTRY)
 
 
 @dataclass

@@ -11,11 +11,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.csr import CSRMatrix
-from .base import Clustering
+from .base import Clustering, register_clustering
 
 __all__ = ["fixed_length_clustering"]
 
 
+@register_clustering("fixed")
 def fixed_length_clustering(A: CSRMatrix, *, cluster_size: int = 8) -> Clustering:
     """Cluster consecutive rows of ``A`` into groups of ``cluster_size``.
 

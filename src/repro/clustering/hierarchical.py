@@ -31,13 +31,14 @@ import numpy as np
 
 from ..core.csr import CSRMatrix
 from ..core.topk import spgemm_topk_similarity
-from .base import Clustering
+from .base import Clustering, register_clustering
 from .unionfind import UnionFind
 from .variable import jaccard_sorted
 
 __all__ = ["hierarchical_clustering"]
 
 
+@register_clustering("hierarchical")
 def hierarchical_clustering(
     A: CSRMatrix,
     *,

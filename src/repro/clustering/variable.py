@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.csr import CSRMatrix
-from .base import Clustering
+from .base import Clustering, register_clustering
 
 __all__ = ["variable_length_clustering", "jaccard_sorted"]
 
@@ -31,6 +31,7 @@ def jaccard_sorted(a: np.ndarray, b: np.ndarray) -> float:
     return inter / (a.size + b.size - inter)
 
 
+@register_clustering("variable")
 def variable_length_clustering(
     A: CSRMatrix,
     *,

@@ -17,12 +17,14 @@ from .planner import (
     AutotunePlanner,
     Candidate,
     HeuristicPlanner,
+    PipelinePlanner,
     Planner,
     PredictorPlanner,
     PreparedOperand,
     default_candidates,
     default_training_corpus,
     make_planner,
+    planner_reorderings,
     prepare_candidate,
 )
 
@@ -39,10 +41,12 @@ __all__ = [
     "HeuristicPlanner",
     "PredictorPlanner",
     "AutotunePlanner",
+    "PipelinePlanner",
     "Candidate",
     "PreparedOperand",
     "default_candidates",
     "default_training_corpus",
     "make_planner",
+    "planner_reorderings",
     "prepare_candidate",
 ]

@@ -30,15 +30,14 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
-from ..core.cluster_spgemm import cluster_spgemm
 from ..core.csr import CSRMatrix
-from ..core.spgemm import spgemm_rowwise
 from ..experiments.config import ExperimentConfig
 from ..machine import SimulatedMachine
+from ..pipeline import PipelineSpec, get_component
 from .fingerprint import MatrixFingerprint, fingerprint, pattern_digest, value_digest
 from .plan import ExecutionPlan
 from .plan_cache import PlanCache
-from .planner import Planner, PreparedOperand, make_planner, prepare_candidate
+from .planner import Planner, PreparedOperand, make_planner
 
 __all__ = ["SpGEMMEngine", "EngineStats"]
 
@@ -158,6 +157,12 @@ class SpGEMMEngine:
         Seed for reorderings and feature sampling (plan determinism).
     operand_cache_size:
         Prepared-operand LRU capacity (value-exact reuse).
+    pipeline:
+        A :class:`~repro.pipeline.spec.PipelineSpec` (or its string
+        form, e.g. ``"rcm+hierarchical:max_th=8+cluster"``) to execute
+        for every multiply instead of searching — the declarative
+        entry point.  Individual calls can also override the planner
+        per-multiply via ``multiply(..., pipeline=...)``.
     """
 
     def __init__(
@@ -172,23 +177,31 @@ class SpGEMMEngine:
         top_k: int = 3,
         seed: int = 0,
         operand_cache_size: int = 8,
+        pipeline: "PipelineSpec | str | None" = None,
     ) -> None:
         from ..experiments.runner import machine_for
 
         self.cfg = config or ExperimentConfig()
         self.machine = machine or machine_for(self.cfg)
         self.seed = int(seed)
+        if pipeline is not None:
+            policy = "pipeline"
         kw = dict(cfg=self.cfg, machine=self.machine, seed=self.seed)
         if policy == "predictor":
             kw["predictor"] = predictor
         elif policy == "autotune":
             kw["top_k"] = top_k
+        elif policy == "pipeline":
+            if pipeline is None:
+                raise ValueError("policy='pipeline' needs a pipeline= spec")
+            kw["spec"] = pipeline
         self.planner: Planner = make_planner(policy, **kw)
         self.policy = policy
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(persist=persist_plans)
         self._operands: "OrderedDict[tuple, PreparedOperand]" = OrderedDict()
         self._operand_cap = max(1, int(operand_cache_size))
         self._fingerprints: "OrderedDict[str, MatrixFingerprint]" = OrderedDict()
+        self._pipeline_planners: dict[str, Planner] = {}
         self._stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -218,17 +231,32 @@ class SpGEMMEngine:
         cost = ",".join(f"{k}={v}" for k, v in sorted(asdict(m.cost).items()))
         return f"m{m.n_threads}t{m.cache_lines}l{m.line_bytes}b[{cost}]"
 
-    def _plan_key(self, fp: MatrixFingerprint, workload: str) -> str:
+    def _plan_key(self, fp: MatrixFingerprint, workload: str, planner: Planner) -> str:
         return "|".join(
             [
                 fp.key,
                 workload,
-                self.planner.cache_token,
+                planner.cache_token,
                 self.cfg.cache_key(),
                 self._machine_token(),
                 str(self.seed),
             ]
         )
+
+    def _resolve_planner(self, pipeline) -> Planner:
+        """The planner for one call: the engine's configured policy, or
+        a per-spec fixed planner when ``pipeline=`` is given (memoised —
+        repeated calls with the same spec share plan-cache entries)."""
+        if pipeline is None:
+            return self.planner
+        key = str(PipelineSpec.parse(pipeline))
+        planner = self._pipeline_planners.get(key)
+        if planner is None:
+            planner = make_planner(
+                "pipeline", spec=key, cfg=self.cfg, machine=self.machine, seed=self.seed
+            )
+            self._pipeline_planners[key] = planner
+        return planner
 
     @staticmethod
     def _infer_workload(A: CSRMatrix, B: CSRMatrix | None) -> str:
@@ -239,7 +267,12 @@ class SpGEMMEngine:
         return "general"
 
     def plan_for(
-        self, A: CSRMatrix, B: CSRMatrix | None = None, *, workload: str | None = None
+        self,
+        A: CSRMatrix,
+        B: CSRMatrix | None = None,
+        *,
+        workload: str | None = None,
+        pipeline: "PipelineSpec | str | None" = None,
     ) -> ExecutionPlan:
         """The plan the engine would execute for ``A @ B``.
 
@@ -248,7 +281,7 @@ class SpGEMMEngine:
         hit/miss counters — only :meth:`multiply` does, so the ledger
         counts executions, not displays.
         """
-        return self._plan_for(A, B, workload=workload, count_lookup=False)
+        return self._plan_for(A, B, workload=workload, pipeline=pipeline, count_lookup=False)
 
     def _plan_for(
         self,
@@ -256,13 +289,15 @@ class SpGEMMEngine:
         B: CSRMatrix | None = None,
         *,
         workload: str | None = None,
+        pipeline: "PipelineSpec | str | None" = None,
         count_lookup: bool = True,
     ) -> ExecutionPlan:
         Bx = A if B is None else B
         workload = workload or self._infer_workload(A, B)
+        planner = self._resolve_planner(pipeline)
         t0 = time.perf_counter()
         fp = self._fingerprint(A)
-        key = self._plan_key(fp, workload)
+        key = self._plan_key(fp, workload, planner)
         plan = self.plan_cache.get(key)
         if plan is not None:
             if count_lookup:
@@ -270,38 +305,55 @@ class SpGEMMEngine:
         else:
             if count_lookup:
                 self._stats.plan_cache_misses += 1
-            plan = self.planner.plan(A, Bx, fp, workload)
+            plan = planner.plan(A, Bx, fp, workload)
             self.plan_cache.put(key, plan)
             self._stats.plans_built += 1
             self._stats.model_planning_cost += plan.planning_cost
             # The planner already materialised the winning operand for
             # its measurement — seed the operand cache with it so the
             # preprocessing is never paid twice.
-            prep = self.planner.take_prepared()
+            prep = planner.take_prepared()
             if prep is not None:
                 self._stats.operands_prepared += 1
                 self._stats.model_pre_cost += prep.pre_cost
-                self._store_operand(
-                    (plan.fingerprint_key, plan.reordering, plan.clustering, value_digest(A)), prep
-                )
+                self._store_operand(self._operand_key(plan, A), prep)
         self._stats.planning_seconds += time.perf_counter() - t0
         return plan
 
     # ------------------------------------------------------------------
     # Preparation
     # ------------------------------------------------------------------
+    @staticmethod
+    def _operand_key(plan: ExecutionPlan, A: CSRMatrix) -> tuple:
+        # Kernel and params discriminate: the same (reordering,
+        # clustering) pair prepares differently for a cluster kernel
+        # (CSR_Cluster materialisation) than for a row-traversal kernel
+        # (cluster order composed), and parameterised pipelines must not
+        # collide with config-default plans.
+        return (
+            plan.fingerprint_key,
+            plan.reordering,
+            plan.clustering,
+            plan.kernel,
+            plan.params,
+            value_digest(A),
+        )
+
     def prepare(self, A: CSRMatrix, plan: ExecutionPlan) -> PreparedOperand:
         """Materialise (or reuse) the plan's reordered/clustered operand."""
-        key = (plan.fingerprint_key, plan.reordering, plan.clustering, value_digest(A))
+        key = self._operand_key(plan, A)
         prep = self._operands.get(key)
         if prep is not None:
             self._operands.move_to_end(key)
             self._stats.operands_reused += 1
             return prep
         t0 = time.perf_counter()
-        prep = prepare_candidate(
-            A, plan.reordering, plan.clustering, self.cfg, self.machine.cost, seed=plan.seed
-        )
+        # Rebuild through the plan's pipeline spec so every component
+        # parameter (reordering, clustering, kernel) is honoured.
+        from .planner import _prepared_from_built
+
+        built = plan.pipeline().build(A, seed=plan.seed, mode="rows", cfg=self.cfg)
+        prep = _prepared_from_built(built, self.machine.cost)
         self._stats.preprocess_seconds += time.perf_counter() - t0
         self._stats.operands_prepared += 1
         self._stats.model_pre_cost += prep.pre_cost
@@ -322,6 +374,7 @@ class SpGEMMEngine:
         B: CSRMatrix | None = None,
         *,
         workload: str | None = None,
+        pipeline: "PipelineSpec | str | None" = None,
     ) -> CSRMatrix:
         """Compute ``A @ B`` (``A²`` when ``B`` is omitted) via the plan.
 
@@ -329,21 +382,36 @@ class SpGEMMEngine:
         the original operands bitwise: the plan's permutation gathers
         whole rows (``P·A``), so each output row's summation order is
         unchanged and only row placement is inverted at the end.
+        ``pipeline`` pins the configuration for this call instead of
+        consulting the engine's planner policy.
         """
         Bx = A if B is None else B
         if A.ncols != Bx.nrows:
             raise ValueError(f"inner dimensions differ: {A.shape} x {Bx.shape}")
-        plan = self._plan_for(A, B, workload=workload)
+        plan = self._plan_for(A, B, workload=workload, pipeline=pipeline)
         prep = self.prepare(A, plan)
         return self._execute(plan, prep, Bx)
 
     def _execute(self, plan: ExecutionPlan, prep: PreparedOperand, Bx: CSRMatrix) -> CSRMatrix:
-        """Run the planned kernel and record the per-multiply ledger."""
+        """Run the planned kernel backend and record the per-multiply
+        ledger.
+
+        Dispatch goes through the pipeline registry's
+        :class:`~repro.pipeline.registry.KernelBackend` components, so a
+        newly registered kernel is executable here with no engine edit;
+        every backend preserves per-row summation order, keeping the
+        bitwise contract.
+        """
         t0 = time.perf_counter()
-        if plan.kernel == "rowwise":
-            C = spgemm_rowwise(prep.Ar, Bx, accumulator=plan.accumulator)
-        else:
-            C = cluster_spgemm(prep.Ac, Bx, restore_order=True)
+        k_info = get_component("kernel", plan.kernel)
+        given = [
+            (k, v)
+            for k, v in plan.params
+            if any(k == p.name or k in p.aliases for p in k_info.params)
+        ]
+        if any(p.name == "accumulator" for p in k_info.params):
+            given.append(("accumulator", plan.accumulator))
+        C = k_info.factory(prep, Bx, **k_info.resolve_params(given, self.cfg))
         if prep.inv is not None:
             C = C.permute_rows(prep.inv)
         self._stats.execute_seconds += time.perf_counter() - t0
@@ -354,7 +422,12 @@ class SpGEMMEngine:
         return C
 
     def multiply_many(
-        self, A: CSRMatrix, Bs, *, workload: str | None = None
+        self,
+        A: CSRMatrix,
+        Bs,
+        *,
+        workload: str | None = None,
+        pipeline: "PipelineSpec | str | None" = None,
     ) -> list[CSRMatrix]:
         """Batch API: ``[A @ B for B in Bs]`` with one shared plan.
 
@@ -369,7 +442,7 @@ class SpGEMMEngine:
         if not Bs:
             return []
         wl = workload or self._infer_workload(A, Bs[0])
-        plan = self._plan_for(A, Bs[0], workload=wl)
+        plan = self._plan_for(A, Bs[0], workload=wl, pipeline=pipeline)
         prep = self.prepare(A, plan)
         out = []
         for i, B in enumerate(Bs):

@@ -25,15 +25,31 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
 from dataclasses import asdict, dataclass, replace
 
 __all__ = ["ExecutionPlan", "CLUSTERINGS", "KERNELS"]
 
-#: Valid clustering schemes (``None`` means plain CSR).
-CLUSTERINGS = (None, "fixed", "variable", "hierarchical")
-#: Valid kernels.
-KERNELS = ("rowwise", "cluster")
 _ACCUMULATORS = ("sort", "dense", "hash")
+
+
+def __getattr__(name: str):
+    # Deprecated: the valid component names live in the unified pipeline
+    # registry now, so registering a new clustering or kernel makes it
+    # plan-valid without touching this module.
+    if name in ("CLUSTERINGS", "KERNELS"):
+        warnings.warn(
+            f"repro.engine.plan.{name} is deprecated; query "
+            "repro.pipeline.available_components('clustering' / 'kernel') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..pipeline import available_components
+
+        if name == "CLUSTERINGS":
+            return (None, *available_components("clustering"))
+        return tuple(available_components("kernel"))
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -87,16 +103,29 @@ class ExecutionPlan:
     planning_cost: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.kernel not in KERNELS:
-            raise ValueError(f"unknown kernel {self.kernel!r}")
-        if self.clustering not in CLUSTERINGS:
-            raise ValueError(f"unknown clustering {self.clustering!r}")
+        # Validation is registry-driven (lazy import: the pipeline layer
+        # links back to ExecutionPlan for serialisation): any registered
+        # component composition the registry calls compatible is a valid
+        # plan, with no name list to keep in sync here.
+        from ..pipeline import get_component
+
+        try:
+            get_component("reordering", self.reordering)
+        except KeyError as e:
+            raise ValueError(f"unknown reordering {self.reordering!r} ({e})") from None
+        try:
+            kernel = get_component("kernel", self.kernel)
+        except KeyError as e:
+            raise ValueError(f"unknown kernel {self.kernel!r} ({e})") from None
+        if self.clustering is not None:
+            try:
+                get_component("clustering", self.clustering)
+            except KeyError as e:
+                raise ValueError(f"unknown clustering {self.clustering!r} ({e})") from None
         if self.accumulator not in _ACCUMULATORS:
             raise ValueError(f"unknown accumulator {self.accumulator!r}")
-        if self.kernel == "cluster" and self.clustering is None:
-            raise ValueError("cluster kernel requires a clustering scheme")
-        if self.clustering == "hierarchical" and self.reordering != "original":
-            raise ValueError("hierarchical clustering embeds its own reordering")
+        if kernel.requires_clustering and self.clustering is None:
+            raise ValueError(f"{self.kernel} kernel requires a clustering scheme")
 
     # ------------------------------------------------------------------
     # Cost / amortisation accounting
@@ -141,6 +170,13 @@ class ExecutionPlan:
         """Short human-readable configuration name."""
         cl = self.clustering or "csr"
         return f"{self.reordering}+{cl}/{self.kernel}"
+
+    def pipeline(self):
+        """The :class:`~repro.pipeline.spec.PipelineSpec` this plan
+        executes (round-trippable: ``spec.to_plan()`` inverts it)."""
+        from ..pipeline import PipelineSpec
+
+        return PipelineSpec.from_plan(self)
 
     def param_dict(self) -> dict:
         return dict(self.params)

@@ -1,8 +1,12 @@
-"""Pluggable planning policies: heuristic, predictor, autotune.
+"""Pluggable planning policies: heuristic, predictor, autotune, pipeline.
 
 A planner turns ``(A, B, fingerprint, workload)`` into an
-:class:`~repro.engine.plan.ExecutionPlan`.  Three policies are provided,
-mirroring the escalation the paper's §5 future work sketches:
+:class:`~repro.engine.plan.ExecutionPlan`.  The candidate space is
+enumerated from :mod:`repro.pipeline` registry capability queries
+(:func:`planner_reorderings`, :func:`default_candidates`) — registering
+a component with the right tags makes it planned, with no lists to keep
+in sync here.  Three search policies are provided, mirroring the
+escalation the paper's §5 future work sketches, plus a fixed-spec one:
 
 * :class:`HeuristicPlanner` (``"heuristic"``) — ranks a candidate space
   with closed-form :class:`~repro.machine.cost.CostModel` estimates
@@ -17,6 +21,10 @@ mirroring the escalation the paper's §5 future work sketches:
   simulates each on the machine model, and picks the fastest.  The trial
   cost is charged to ``plan.planning_cost`` so the engine's break-even
   accounting stays honest.
+* :class:`PipelinePlanner` (``"pipeline"``) — no search: executes one
+  explicit :class:`~repro.pipeline.spec.PipelineSpec` (the engine's
+  ``pipeline=`` argument / the CLI's ``--pipeline``), still measured
+  once so cost accounting and plan caching behave like searched plans.
 
 Candidates are applied as **row permutations** (gather ``P·A``), not the
 symmetric ``P A Pᵀ`` of the sweep runner: row gathering leaves every row's
@@ -29,17 +37,16 @@ capturing the cross-row ``B``-reuse locality that reordering buys
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
 
-from ..analysis.predictor import FEATURE_NAMES, ConfigurationPredictor
-from ..clustering import (
-    Clustering,
-    fixed_length_clustering,
-    hierarchical_clustering,
-    variable_length_clustering,
+from ..analysis.predictor import (
+    DEFAULT_TRAINING_REORDERINGS,
+    FEATURE_NAMES,
+    ConfigurationPredictor,
 )
 from ..core.csr import CSRMatrix
 from ..core.csr_cluster import CSRCluster
@@ -47,7 +54,7 @@ from ..core.spgemm import flops_rowwise
 from ..experiments.config import ExperimentConfig
 from ..machine import SimulatedMachine
 from ..machine.layout import ENTRY_BYTES
-from ..reordering import reorder
+from ..pipeline import PipelineSpec, components, get_component
 from .fingerprint import MatrixFingerprint
 from .plan import ExecutionPlan
 
@@ -58,19 +65,60 @@ __all__ = [
     "HeuristicPlanner",
     "PredictorPlanner",
     "AutotunePlanner",
+    "PipelinePlanner",
     "make_planner",
     "default_candidates",
+    "planner_reorderings",
     "prepare_candidate",
     "default_training_corpus",
 ]
 
-#: Reorderings the planners consider by default — a curated subset of
-#: Table 1 spanning the two effective families the paper identifies
-#: (bandwidth/fill reducers for meshes, hub/community orders for graphs).
-PLANNER_REORDERINGS = ("rcm", "amd", "rabbit", "degree", "slashburn")
 
-_BANDWIDTH_ALGOS = frozenset({"rcm", "amd", "nd", "gp", "hp", "gray"})
-_HUB_ALGOS = frozenset({"rabbit", "degree", "slashburn"})
+def planner_reorderings() -> tuple[str, ...]:
+    """Reorderings the planners consider by default, by registry query.
+
+    Every reordering registered with a ``planner_rank`` (the curated
+    Table-1 subset spanning the paper's two effective families —
+    bandwidth/fill reducers for meshes, hub/community orders for graphs)
+    participates automatically, in rank order: registering a new
+    algorithm with a rank makes it planned with no planner edit.
+    """
+    return tuple(c.name for c in components("reordering", planned=True))
+
+
+def _family(reordering: str) -> str:
+    """The registry's family affinity tag for one reordering."""
+    return get_component("reordering", reordering).family
+
+
+_DEPRECATED = {
+    "PLANNER_REORDERINGS": (
+        "repro.engine.planner.planner_reorderings()",
+        lambda: planner_reorderings(),
+    ),
+    "_BANDWIDTH_ALGOS": (
+        "repro.pipeline.components('reordering', family='bandwidth')",
+        lambda: frozenset(c.name for c in components("reordering", family="bandwidth")),
+    ),
+    "_HUB_ALGOS": (
+        "repro.pipeline.components('reordering', family='hub')",
+        lambda: frozenset(c.name for c in components("reordering", family="hub")),
+    ),
+}
+
+
+def __getattr__(name: str):
+    # Legacy module constants, now derived from the pipeline registry so
+    # they can never drift from what is actually registered.
+    if name in _DEPRECATED:
+        hint, value = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.engine.planner.{name} is deprecated; use {hint} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return value()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -87,25 +135,27 @@ class Candidate:
 
 
 def default_candidates(
-    *, square: bool, reorderings: tuple[str, ...] = PLANNER_REORDERINGS
+    *, square: bool, reorderings: tuple[str, ...] | None = None
 ) -> list[Candidate]:
-    """The candidate space planners search.
+    """The candidate space planners search, enumerated from the registry.
 
     Non-square operands cannot take the graph reorderings (they need a
     square adjacency), so their space reduces to clustering choices on
-    the natural order.
+    the natural order.  Clusterings tagged ``embeds_reordering``
+    (hierarchical, paper §3.4) are paired only with the natural order —
+    their cluster formation *is* a reordering.
     """
-    cands = [
-        Candidate("original", None, "rowwise"),
-        Candidate("original", "fixed", "cluster"),
-        Candidate("original", "variable", "cluster"),
-        Candidate("original", "hierarchical", "cluster"),
-    ]
+    if reorderings is None:
+        reorderings = planner_reorderings()
+    clusterings = components("clustering")
+    cands = [Candidate("original", None, "rowwise")]
+    cands += [Candidate("original", c.name, "cluster") for c in clusterings]
     if square:
         for r in reorderings:
             cands.append(Candidate(r, None, "rowwise"))
-            cands.append(Candidate(r, "fixed", "cluster"))
-            cands.append(Candidate(r, "variable", "cluster"))
+            cands.extend(
+                Candidate(r, c.name, "cluster") for c in clusterings if not c.embeds_reordering
+            )
     return cands
 
 
@@ -132,16 +182,28 @@ class PreparedOperand:
     params: tuple[tuple[str, float], ...] = ()
 
 
-def _build_clustering(Ar: CSRMatrix, scheme: str, cfg: ExperimentConfig) -> Clustering:
-    if scheme == "fixed":
-        return fixed_length_clustering(Ar, cluster_size=cfg.fixed_cluster_size)
-    if scheme == "variable":
-        return variable_length_clustering(Ar, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th)
-    if scheme == "hierarchical":
-        return hierarchical_clustering(
-            Ar, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th, column_cap=cfg.column_cap
+def _prepared_from_built(built, cost) -> PreparedOperand:
+    """Wrap a :class:`~repro.pipeline.spec.BuiltPipeline` as the engine's
+    :class:`PreparedOperand`, emitting the resolved clustering parameters
+    in the plan's legacy ``(name, float)`` convention."""
+    spec = built.spec
+    params: tuple[tuple[str, float], ...] = ()
+    c_info = spec.clustering_info
+    if c_info is not None:
+        resolved = c_info.resolve_params(spec.clustering_params, built.cfg)
+        params = tuple(
+            (p.name, float(resolved[p.name])) for p in c_info.params if p.name in resolved
         )
-    raise ValueError(f"unknown clustering scheme {scheme!r}")
+    return PreparedOperand(
+        spec.reordering,
+        spec.clustering,
+        built.perm,
+        built.inv,
+        built.Ar,
+        built.Ac,
+        built.pre_cost(cost),
+        params,
+    )
 
 
 def prepare_candidate(
@@ -152,39 +214,30 @@ def prepare_candidate(
     cost,
     *,
     seed: int = 0,
+    clustering_params: tuple[tuple[str, float], ...] = (),
+    cluster_operand: bool = True,
 ) -> PreparedOperand:
     """Materialise a candidate: run the reordering and cluster build.
 
-    Returns the prepared operand with its model preprocessing cost
-    (reordering charged at graph rates, clustering at kernel rates —
-    the same accounting as the Fig. 10 sweep runner).
+    A thin wrapper over :meth:`PipelineSpec.build` (the pipeline layer
+    owns preparation now).  Returns the prepared operand with its model
+    preprocessing cost, each stage charged at its registry rate
+    (reordering at graph rates, clustering at kernel rates — the same
+    accounting as the Fig. 10 sweep runner).  ``clustering_params``
+    overrides the config-supplied clustering parameters;
+    ``cluster_operand=False`` consumes the clustering as its implicit
+    row reordering instead of materialising ``CSR_Cluster`` (for
+    non-cluster kernels).
     """
-    perm = inv = None
-    Ar = A
-    pre = 0.0
-    if reordering != "original":
-        r = reorder(A, reordering, seed=seed)
-        perm = r.perm
-        inv = np.empty_like(perm)
-        inv[perm] = np.arange(perm.size, dtype=np.int64)
-        Ar = A.permute_rows(perm)
-        pre += cost.preprocessing_time(r.work, kind="graph")
-    Ac = None
-    params: tuple[tuple[str, float], ...] = ()
-    if clustering is not None:
-        cl = _build_clustering(Ar, clustering, cfg)
-        pre += cost.preprocessing_time(cl.work, kind="kernel")
-        Ac = cl.to_csr_cluster(Ar)
-        if clustering == "fixed":
-            params = (("cluster_size", float(cfg.fixed_cluster_size)),)
-        else:
-            params = (
-                ("jacc_th", float(cfg.jacc_th)),
-                ("max_cluster_th", float(cfg.max_cluster_th)),
-            )
-            if clustering == "hierarchical":
-                params += (("column_cap", float(cfg.column_cap)),)
-    return PreparedOperand(reordering, clustering, perm, inv, Ar, Ac, pre, params)
+    kernel = "cluster" if (clustering is not None and cluster_operand) else "rowwise"
+    spec = PipelineSpec(
+        reordering=reordering,
+        clustering=clustering,
+        kernel=kernel,
+        clustering_params=tuple(clustering_params),
+    )
+    built = spec.build(A, seed=seed, mode="rows", cfg=cfg)
+    return _prepared_from_built(built, cost)
 
 
 # ----------------------------------------------------------------------
@@ -234,11 +287,12 @@ def _estimate_candidate_costs(
     def locality_after(reordering: str) -> float:
         if reordering == "original":
             return cj
-        if reordering == "shuffled":
+        family = _family(reordering)
+        if family == "baseline":  # shuffled: locality actively destroyed
             return 0.05
-        if reordering in _BANDWIDTH_ALGOS:
+        if family == "bandwidth":
             affinity = 1.0 / (1.0 + dcv)
-        elif reordering in _HUB_ALGOS:
+        elif family == "hub":
             affinity = min(1.0, dcv / 2.0 + hub)
         else:
             affinity = 0.5
@@ -255,12 +309,15 @@ def _estimate_candidate_costs(
                 + cost.gamma_brow * nnz_a
             )
         else:
-            if cand.clustering == "fixed":
-                size = max(1.0, float(cfg.fixed_cluster_size))
-                sim = loc  # blind consecutive grouping: only as good as the order
-            else:
-                size = 1.0 + potential * (cfg.max_cluster_th - 1)
+            c_info = get_component("clustering", cand.clustering)
+            c_params = c_info.resolve_params((), cfg)
+            if c_info.similarity_driven:
+                cap = c_params.get("max_cluster_th", cfg.max_cluster_th)
+                size = 1.0 + potential * (cap - 1)
                 sim = potential  # similarity-driven grouping
+            else:
+                size = max(1.0, float(c_params.get("cluster_size", cfg.fixed_cluster_size)))
+                sim = loc  # blind consecutive grouping: only as good as the order
             padded = fl * (1.0 + (1.0 - sim) * (size - 1.0))
             visits = nnz_a * ((1.0 - sim) + sim / size)
             loc_c = max(loc, sim) + 0.15
@@ -288,14 +345,14 @@ class Planner:
         cfg: ExperimentConfig | None = None,
         machine: SimulatedMachine | None = None,
         seed: int = 0,
-        reorderings: tuple[str, ...] = PLANNER_REORDERINGS,
+        reorderings: tuple[str, ...] | None = None,
     ) -> None:
         from ..experiments.runner import machine_for  # local: avoid import cycle at module load
 
         self.cfg = cfg or ExperimentConfig()
         self.machine = machine or machine_for(self.cfg)
         self.seed = int(seed)
-        self.reorderings = tuple(reorderings)
+        self.reorderings = planner_reorderings() if reorderings is None else tuple(reorderings)
         self._winner_prep: PreparedOperand | None = None  # see take_prepared()
 
     @property
@@ -317,12 +374,28 @@ class Planner:
         return default_candidates(square=A.nrows == A.ncols, reorderings=self.reorderings)
 
     def _measure(self, A: CSRMatrix, B: CSRMatrix, cand: Candidate) -> tuple[float, PreparedOperand]:
-        """Materialise ``cand`` and simulate one multiply (model time)."""
-        prep = prepare_candidate(A, cand.reordering, cand.clustering, self.cfg, self.machine.cost, seed=self.seed)
-        if cand.kernel == "rowwise":
-            res = self.machine.run_rowwise(prep.Ar, B)
-        else:
+        """Materialise ``cand`` and simulate one multiply (model time).
+
+        The ``cluster`` kernel is simulated on the machine model's
+        cluster-wise path; every other kernel runs on the row-wise path
+        over the prepared (possibly cluster-order-composed) operand —
+        for ``tiled`` this is a proxy estimate, since the simulated
+        machine models dataflow through row traversal.
+        """
+        cluster_operand = cand.kernel == "cluster"
+        prep = prepare_candidate(
+            A,
+            cand.reordering,
+            cand.clustering,
+            self.cfg,
+            self.machine.cost,
+            seed=self.seed,
+            cluster_operand=cluster_operand,
+        )
+        if cluster_operand:
             res = self.machine.run_clusterwise(prep.Ac, B)
+        else:
+            res = self.machine.run_rowwise(prep.Ar, B)
         return res.time, prep
 
     def _baseline(self, A: CSRMatrix, B: CSRMatrix) -> float:
@@ -424,15 +497,20 @@ class PredictorPlanner(Planner):
         # its own so query and training features stay comparable.
         features = fp.feature_array() if self.seed == 0 else None
         algo, variant = self.predictor.predict(A, features=features)
-        square = A.nrows == A.ncols
-        if not square and algo not in ("original", "hierarchical"):
+        if variant == "cluster":
+            # Label shape ("<clustering>", "cluster"): the clustering
+            # embeds its own order, so it rides the natural order.
+            return Candidate("original", algo, "cluster")
+        if (
+            A.nrows != A.ncols
+            and algo != "original"
+            and get_component("reordering", algo).square_only
+        ):
             algo = "original"  # graph reorderings need a square adjacency
         if variant == "rowwise":
             return Candidate(algo, None, "rowwise")
-        if variant in ("fixed", "variable"):
-            return Candidate(algo, variant, "cluster")
-        # ("hierarchical", "cluster") — the clustering embeds its order.
-        return Candidate("original", "hierarchical", "cluster")
+        # Any other variant names a clustering scheme.
+        return Candidate(algo, variant, "cluster")
 
     def _select(self, A, B, fp, baseline):
         cand = self.choose(A, B, fp)
@@ -488,6 +566,57 @@ class AutotunePlanner(Planner):
         return best_cand, best_time, best_prep, extra
 
 
+class PipelinePlanner(Planner):
+    """Fixed-configuration "planner": execute one declarative
+    :class:`~repro.pipeline.spec.PipelineSpec` instead of searching.
+
+    This is how explicit ``--pipeline`` requests flow through the engine
+    with full cost accounting: the spec's operand is materialised and
+    simulated once (like any candidate), so break-even book-keeping and
+    plan caching behave exactly as for searched plans.
+    """
+
+    name = "pipeline"
+
+    def __init__(self, *, spec: PipelineSpec | str, **kw) -> None:
+        super().__init__(**kw)
+        self.spec = PipelineSpec.parse(spec)
+
+    @property
+    def cache_token(self) -> str:
+        return f"{self.name}:{self.spec}"
+
+    def _select(self, A, B, fp, baseline):
+        spec = self.spec
+        if spec.square_only and A.nrows != A.ncols:
+            raise ValueError(
+                f"pipeline {spec} needs a square left operand, got {A.shape}"
+            )
+        built = spec.build(A, seed=self.seed, mode="rows", cfg=self.cfg)
+        prep = _prepared_from_built(built, self.machine.cost)
+        if spec.kernel_info.requires_clustering:
+            res = self.machine.run_clusterwise(prep.Ac, B)
+        else:
+            res = self.machine.run_rowwise(prep.Ar, B)
+        cand = Candidate(spec.reordering, spec.clustering, spec.kernel)
+        return cand, res.time, prep, 0.0
+
+    def _assemble(self, cand, prep, fp, workload, *, predicted, baseline, planning):
+        # Serialise through the spec so reordering/kernel parameters and
+        # the accumulator survive into the plan (and round-trip back via
+        # ExecutionPlan.pipeline()).
+        return self.spec.to_plan(
+            policy=self.name,
+            workload=workload,
+            fingerprint_key=fp.key,
+            seed=self.seed,
+            predicted_cost=predicted,
+            baseline_cost=baseline,
+            pre_cost=prep.pre_cost,
+            planning_cost=planning,
+        )
+
+
 # ----------------------------------------------------------------------
 # Built-in predictor training corpus
 # ----------------------------------------------------------------------
@@ -514,7 +643,7 @@ def _corpus_cached(cfg: ExperimentConfig, seed: int):
         fixed_cluster_size=cfg.fixed_cluster_size,
         column_cap=cfg.column_cap,
         seed=seed,
-        reorderings=("rcm", "degree", "rabbit"),
+        reorderings=DEFAULT_TRAINING_REORDERINGS,
     )
     mats, sweeps = [], []
     for name, build in builders:
@@ -540,6 +669,7 @@ _POLICIES = {
     "heuristic": HeuristicPlanner,
     "predictor": PredictorPlanner,
     "autotune": AutotunePlanner,
+    "pipeline": PipelinePlanner,
 }
 
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments.cli table2 --suite quick
     python -m repro.experiments.cli all --suite full
     python -m repro.experiments.cli engine --matrix pdb1 --policy autotune --iters 5
+    python -m repro.experiments.cli engine --pipeline rcm+fixed:8+cluster
+    python -m repro.experiments.cli pipelines      # registered components
 
 Prints the same paper-style tables the benchmark harness saves under
 ``benchmarks/results/`` (the pytest benches additionally time the
@@ -146,23 +148,42 @@ def table4(args) -> str:
 
 def engine_demo(args) -> str:
     """Run the execution engine on one suite matrix and report the plan,
-    amortisation ledger and plan-cache behaviour (the ``engine`` command)."""
+    amortisation ledger and plan-cache behaviour (the ``engine`` command).
+
+    ``--pipeline`` pins an explicit declarative spec (e.g.
+    ``rcm+fixed:8+cluster``) instead of searching with ``--policy``.
+    """
     from ..engine import SpGEMMEngine
     from ..matrices import get_matrix
+    from ..pipeline import PipelineSpec
 
     A = get_matrix(args.matrix)
-    eng = SpGEMMEngine(policy=args.policy, config=ExperimentConfig())
+    if args.pipeline:
+        spec = PipelineSpec.parse(args.pipeline)
+        eng = SpGEMMEngine(pipeline=spec, config=ExperimentConfig())
+        chosen = f"pipeline={spec}"
+    else:
+        eng = SpGEMMEngine(policy=args.policy, config=ExperimentConfig())
+        chosen = f"policy={args.policy}"
     for _ in range(max(1, args.iters)):
         eng.multiply(A)
     plan = eng.plan_for(A)
     lines = [
-        f"engine demo: {args.matrix} (n={A.nrows}, nnz={A.nnz}), policy={args.policy}",
+        f"engine demo: {args.matrix} (n={A.nrows}, nnz={A.nnz}), {chosen}",
         f"plan: {plan.label}   predicted speedup {plan.predicted_speedup:.2f}x, "
         f"break-even after {plan.break_even_iterations():.1f} multiplies",
+        f"spec: {plan.pipeline()}",
         "",
         eng.stats().summary(),
     ]
     return "\n".join(lines)
+
+
+def pipelines_cmd(args) -> str:
+    """List the registered pipeline components (the ``pipelines`` command)."""
+    from ..pipeline import describe
+
+    return describe()
 
 
 #: Paper artefacts — what ``all`` regenerates.
@@ -178,7 +199,7 @@ ARTEFACTS = {
     "table4": table4,
 }
 
-COMMANDS = {**ARTEFACTS, "engine": engine_demo}
+COMMANDS = {**ARTEFACTS, "engine": engine_demo, "pipelines": pipelines_cmd}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -194,6 +215,13 @@ def main(argv: list[str] | None = None) -> int:
         help="planner policy for the engine command",
     )
     parser.add_argument("--iters", type=int, default=5, help="multiplies to run in the engine command")
+    parser.add_argument(
+        "--pipeline",
+        default=None,
+        metavar="SPEC",
+        help="explicit pipeline spec for the engine command, e.g. rcm+fixed:8+cluster "
+        "(overrides --policy; see the pipelines command for components)",
+    )
     args = parser.parse_args(argv)
     targets = list(ARTEFACTS) if args.what == "all" else [args.what]
     for t in targets:

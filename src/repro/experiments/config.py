@@ -45,6 +45,53 @@ class ExperimentConfig:
         payload = json.dumps(asdict(self), sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
+    # ------------------------------------------------------------------
+    # Pipeline-spec view of the config
+    # ------------------------------------------------------------------
+    def component_params(self, kind: str, name: str) -> dict:
+        """The parameters this config implies for one registered
+        component, resolved through the pipeline registry's
+        ``config_attr`` mapping (e.g. ``fixed`` → ``{"cluster_size":
+        self.fixed_cluster_size}``)."""
+        from ..pipeline import get_component
+
+        return get_component(kind, name).resolve_params((), self)
+
+    def sweep_pipelines(
+        self,
+        reorderings: tuple[str, ...] | None = None,
+        *,
+        with_clustering: bool = True,
+    ) -> "list":
+        """The declarative sweep space this config implies.
+
+        One :class:`~repro.pipeline.spec.PipelineSpec` per cell of the
+        paper's evaluation grid: row-wise SpGEMM on the natural order
+        and after each of ``reorderings`` (default: this config's
+        list), every non-order-embedding registered clustering on top
+        of each of those, and — on the natural order only — the
+        order-embedding clusterings (hierarchical) via both the cluster
+        kernel and as a pure row reordering (Fig. 2's last box).
+        Parameters are left to config resolution at build time, so the
+        specs stay config-independent names.
+        """
+        from ..pipeline import PipelineSpec, components
+
+        algos = self.reorderings if reorderings is None else tuple(reorderings)
+        clusterings = components("clustering") if with_clustering else []
+        specs: list = []
+        for algo in ("original", *algos):
+            base = PipelineSpec(reordering=algo)
+            specs.append(base)
+            for c in clusterings:
+                if c.embeds_reordering and algo != "original":
+                    continue  # its cluster formation is a reordering already
+                specs.append(base.with_clustering(c.name))
+                if c.embeds_reordering:
+                    # The embedded order used as a pure reordering.
+                    specs.append(base.with_clustering(c.name).with_kernel("rowwise"))
+        return specs
+
 
 def default_config() -> ExperimentConfig:
     return ExperimentConfig()

@@ -1,6 +1,11 @@
 """Experiment orchestration: one sweep powers every table and figure.
 
-For each matrix the runner measures, on the simulated machine:
+The sweep space is enumerated declaratively —
+:meth:`ExperimentConfig.sweep_pipelines` yields one
+:class:`~repro.pipeline.spec.PipelineSpec` per cell of the paper's
+evaluation grid — and each spec is built once (reordering stages are
+shared across the specs that extend them) and measured on the simulated
+machine:
 
 * row-wise SpGEMM on the original order (the universal baseline),
 * row-wise SpGEMM after each reordering (Fig. 2, Fig. 9, Table 2 col 1),
@@ -9,6 +14,11 @@ For each matrix the runner measures, on the simulated machine:
 * hierarchical cluster-wise SpGEMM (Figs. 2, 3, 8),
 * preprocessing work for every configuration (Fig. 10),
 * CSR vs CSR_Cluster memory (Fig. 11).
+
+:func:`run_pipeline` additionally executes a single spec for real —
+actual kernels, output bitwise-identical to row-wise SpGEMM — alongside
+its machine-model measurement, which is how arbitrary ``--pipeline``
+strings flow through the experiments layer.
 
 Results are plain dataclasses; :mod:`repro.experiments.cache` persists
 them so the nine benches share one sweep.
@@ -20,21 +30,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..clustering import (
-    Clustering,
-    fixed_length_clustering,
-    hierarchical_clustering,
-    variable_length_clustering,
-)
+from ..clustering import hierarchical_clustering
 from ..core.csr import CSRMatrix
 from ..machine import SimulatedMachine
 from ..machine.cost import CostModel
 from ..matrices import get_matrix
+from ..pipeline import BuiltPipeline, PipelineSpec
 from ..reordering import reorder
 from ..workloads import ASquareWorkload, bc_frontiers
 from .config import ExperimentConfig
 
-__all__ = ["RunRecord", "MatrixSweep", "run_matrix_sweep", "run_tallskinny_sweep", "TallSkinnyResult", "machine_for"]
+__all__ = [
+    "RunRecord",
+    "MatrixSweep",
+    "PipelineRunResult",
+    "run_matrix_sweep",
+    "run_pipeline",
+    "run_tallskinny_sweep",
+    "TallSkinnyResult",
+    "machine_for",
+]
 
 
 @dataclass
@@ -58,6 +73,11 @@ class RunRecord:
 @dataclass
 class MatrixSweep:
     """All measurements for one matrix (the unit Figs. 2/3/10/11 consume)."""
+
+    #: The per-reordering record tables keyed by clustering scheme — the
+    #: result schema is pinned to these field names; other registered
+    #: clusterings have no sweep slot (see ``_store_record``).
+    CLUSTER_TABLES = ("fixed", "variable")
 
     name: str
     nrows: int
@@ -88,16 +108,45 @@ def machine_for(cfg: ExperimentConfig) -> SimulatedMachine:
     )
 
 
-def _cluster_record(
-    machine: SimulatedMachine,
-    A: CSRMatrix,
-    clustering: Clustering,
-    out_nnz: int,
-    pre_time: float,
+def _measure_spec(
+    machine: SimulatedMachine, built: BuiltPipeline, out_nnz: int | None
 ) -> RunRecord:
-    Ac = clustering.to_csr_cluster(A)
-    res = machine.run_clusterwise(Ac, A, out_nnz=out_nnz)
-    return RunRecord(res.time, pre_time, res.cost.cache.misses, res.cost.work)
+    """Measure one built pipeline on the simulated machine.
+
+    Cluster-kernel specs run the cluster-wise path over ``built.Ac`` with
+    the *reordered* operand as ``B`` (the sweep's symmetric-mode
+    convention); everything else runs row-wise over ``built.Ar``.
+    """
+    if built.spec.kernel_info.requires_clustering:
+        res = machine.run_clusterwise(built.Ac, built.Ar, out_nnz=out_nnz)
+    else:
+        res = machine.run_rowwise(built.Ar, built.Ar, out_nnz=out_nnz)
+    return RunRecord(
+        res.time, built.pre_cost(machine.cost), res.cost.cache.misses, res.cost.work
+    )
+
+
+def _store_record(sweep: MatrixSweep, spec: PipelineSpec, rec: RunRecord) -> bool:
+    """File a measurement into the sweep slot its spec names.
+
+    Returns ``False`` for specs the legacy sweep structure has no slot
+    for (e.g. a user-registered fourth clustering scheme) so callers can
+    report rather than silently drop them.
+    """
+    algo = spec.reordering
+    if spec.clustering is None:
+        sweep.rowwise[algo] = rec
+        return True
+    if spec.clustering_info.embeds_reordering:
+        if spec.kernel_info.requires_clustering:
+            sweep.hierarchical = rec
+        else:
+            sweep.hierarchical_rowwise = rec
+        return True
+    if spec.clustering in MatrixSweep.CLUSTER_TABLES:
+        getattr(sweep, spec.clustering)[algo] = rec
+        return True
+    return False
 
 
 def run_matrix_sweep(
@@ -112,13 +161,15 @@ def run_matrix_sweep(
 
     ``A`` may be supplied directly (examples/tests); otherwise the suite
     matrix ``name`` is built.  ``reorderings`` defaults to the config's
-    list; pass a subset for the cheaper per-figure benches.
+    list; pass a subset for the cheaper per-figure benches.  The sweep
+    iterates the spec space of :meth:`ExperimentConfig.sweep_pipelines`,
+    reusing each reordering (and clustering) stage across the specs that
+    share it.
     """
     if A is None:
         A = get_matrix(name)
     wl = ASquareWorkload.of(A)
     machine = machine_for(cfg)
-    algos = cfg.reorderings if reorderings is None else reorderings
 
     base = machine.run_rowwise(A, A, out_nnz=wl.out_nnz)
     sweep = MatrixSweep(
@@ -132,49 +183,82 @@ def run_matrix_sweep(
     )
     sweep.rowwise["original"] = RunRecord(base.time, 0, base.cost.cache.misses, base.cost.work)
 
-    cost = machine.cost
-    if with_clustering:
-        # Clustering without reordering (Fig. 3's "Original" boxes).
-        fc = fixed_length_clustering(A, cluster_size=cfg.fixed_cluster_size)
-        sweep.fixed["original"] = _cluster_record(
-            machine, A, fc, wl.out_nnz, cost.preprocessing_time(fc.work, kind="kernel")
-        )
-        vc = variable_length_clustering(A, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th)
-        sweep.variable["original"] = _cluster_record(
-            machine, A, vc, wl.out_nnz, cost.preprocessing_time(vc.work, kind="kernel")
-        )
-        sweep.memory_ratio["fixed"] = fc.to_csr_cluster(A).memory_bytes() / sweep.csr_bytes
-        sweep.memory_ratio["variable"] = vc.to_csr_cluster(A).memory_bytes() / sweep.csr_bytes
+    prev_built: BuiltPipeline | None = None
+    for spec in cfg.sweep_pipelines(reorderings, with_clustering=with_clustering):
+        if spec.reordering == "original" and spec.clustering is None:
+            continue  # the baseline, measured above
+        built = spec.build(A, seed=cfg.seed, mode="symmetric", cfg=cfg, base=prev_built)
+        prev_built = built
+        rec = _measure_spec(machine, built, wl.out_nnz)
+        if not _store_record(sweep, spec, rec):
+            import warnings
 
-        # Hierarchical clustering (reordering happens inside); its
-        # preprocessing is kernel-like — one A·Aᵀ SpGEMM plus merges.
-        hc = hierarchical_clustering(
-            A, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th, column_cap=cfg.column_cap
-        )
-        hc_pre = cost.preprocessing_time(hc.work, kind="kernel")
-        sweep.hierarchical = _cluster_record(machine, A, hc, wl.out_nnz, hc_pre)
-        sweep.memory_ratio["hierarchical"] = hc.to_csr_cluster(A).memory_bytes() / sweep.csr_bytes
-        # Hierarchical order as a pure row reordering (Fig. 2's last box).
-        Ah = A.permute_symmetric(hc.permutation())
-        res_h = machine.run_rowwise(Ah, Ah, out_nnz=wl.out_nnz)
-        sweep.hierarchical_rowwise = RunRecord(res_h.time, hc_pre, res_h.cost.cache.misses, res_h.cost.work)
-
-    for algo in algos:
-        r = reorder(A, algo, seed=cfg.seed)
-        r_pre = cost.preprocessing_time(r.work, kind="graph")
-        Ar = A.permute_symmetric(r.perm)
-        res = machine.run_rowwise(Ar, Ar, out_nnz=wl.out_nnz)
-        sweep.rowwise[algo] = RunRecord(res.time, r_pre, res.cost.cache.misses, res.cost.work)
-        if with_clustering:
-            fcr = fixed_length_clustering(Ar, cluster_size=cfg.fixed_cluster_size)
-            sweep.fixed[algo] = _cluster_record(
-                machine, Ar, fcr, wl.out_nnz, r_pre + cost.preprocessing_time(fcr.work, kind="kernel")
-            )
-            vcr = variable_length_clustering(Ar, jacc_th=cfg.jacc_th, max_cluster_th=cfg.max_cluster_th)
-            sweep.variable[algo] = _cluster_record(
-                machine, Ar, vcr, wl.out_nnz, r_pre + cost.preprocessing_time(vcr.work, kind="kernel")
-            )
+            warnings.warn(f"sweep has no result slot for pipeline {spec}; skipping", stacklevel=2)
+            continue
+        # CSR_Cluster memory vs CSR (Fig. 11) on the natural order.
+        if built.Ac is not None and spec.reordering == "original":
+            sweep.memory_ratio[spec.clustering] = built.Ac.memory_bytes() / sweep.csr_bytes
     return sweep
+
+
+# ----------------------------------------------------------------------
+# Single-pipeline execution (the --pipeline entry point)
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineRunResult:
+    """One declarative pipeline, actually executed *and* measured.
+
+    ``C`` is the real product — bitwise-identical to
+    ``spgemm_rowwise(A, B)`` — and ``record`` / ``baseline_time`` the
+    simulated-machine economics of the configuration.
+    """
+
+    spec: PipelineSpec
+    C: CSRMatrix
+    record: RunRecord
+    baseline_time: float
+
+    @property
+    def speedup(self) -> float:
+        return self.record.speedup_over(self.baseline_time)
+
+    @property
+    def amortization_iterations(self) -> float:
+        return self.record.amortization_iterations(self.baseline_time)
+
+
+def run_pipeline(
+    name: str | CSRMatrix,
+    spec: PipelineSpec | str,
+    cfg: ExperimentConfig | None = None,
+    *,
+    B: CSRMatrix | None = None,
+) -> PipelineRunResult:
+    """Execute one pipeline spec through the experiments layer.
+
+    ``name`` is a suite matrix name or a matrix; ``spec`` a
+    :class:`~repro.pipeline.spec.PipelineSpec` or its string form.  The
+    pipeline is built in ``rows`` mode and executed with the real
+    kernels (so ``result.C`` is exact), then measured on the simulated
+    machine against the row-wise baseline — the same accounting as the
+    sweep's cells, for a configuration the sweep grid may not contain.
+    """
+    cfg = cfg or ExperimentConfig()
+    spec = PipelineSpec.parse(spec)
+    A = get_matrix(name) if isinstance(name, str) else name
+    Bx = A if B is None else B
+    machine = machine_for(cfg)
+
+    built = spec.build(A, seed=cfg.seed, mode="rows", cfg=cfg)
+    C = built.execute(Bx)
+
+    base = machine.run_rowwise(A, Bx)
+    if built.spec.kernel_info.requires_clustering:
+        res = machine.run_clusterwise(built.Ac, Bx)
+    else:
+        res = machine.run_rowwise(built.Ar, Bx)
+    rec = RunRecord(res.time, built.pre_cost(machine.cost), res.cost.cache.misses, res.cost.work)
+    return PipelineRunResult(spec=spec, C=C, record=rec, baseline_time=base.time)
 
 
 # ----------------------------------------------------------------------

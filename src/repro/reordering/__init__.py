@@ -12,11 +12,13 @@ an ordering; :mod:`repro.experiments` treats it via
 """
 
 from .base import (
+    ReorderingMeta,
     ReorderingResult,
     apply_permutation,
     available_reorderings,
     bandwidth,
     get_reordering,
+    get_reordering_meta,
     register,
     reorder,
 )
@@ -49,9 +51,11 @@ TABLE1_ORDER = [
 
 __all__ = [
     "ReorderingResult",
+    "ReorderingMeta",
     "reorder",
     "register",
     "get_reordering",
+    "get_reordering_meta",
     "available_reorderings",
     "apply_permutation",
     "bandwidth",

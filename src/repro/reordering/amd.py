@@ -30,7 +30,7 @@ from .graph import Adjacency
 __all__ = ["amd_order"]
 
 
-@register("amd")
+@register("amd", family="bandwidth", planner_rank=2)
 def amd_order(A: CSRMatrix, *, seed: int = 0, work_budget: int = 50_000_000) -> ReorderingResult:
     """Approximate minimum degree ordering (quotient-graph based)."""
     adj = Adjacency.from_matrix(A)

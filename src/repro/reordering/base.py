@@ -25,8 +25,10 @@ from ..core.csr import CSRMatrix
 
 __all__ = [
     "ReorderingResult",
+    "ReorderingMeta",
     "register",
     "get_reordering",
+    "get_reordering_meta",
     "available_reorderings",
     "reorder",
     "apply_permutation",
@@ -69,19 +71,68 @@ class ReorderingResult:
 
 
 _REGISTRY: dict[str, Callable[..., ReorderingResult]] = {}
+_META: dict[str, "ReorderingMeta"] = {}
 
 
-def register(name: str):
-    """Class decorator registering a reordering under the paper's name."""
+@dataclass(frozen=True)
+class ReorderingMeta:
+    """Capability tags attached at the ``@register`` site.
+
+    The unified pipeline registry (:mod:`repro.pipeline`) derives its
+    component capabilities — and the engine planner derives its candidate
+    space — from these, so an algorithm registered here is automatically
+    plannable without touching the planner.
+
+    Attributes
+    ----------
+    family:
+        ``"bandwidth"`` (fill/bandwidth reducers that like regular
+        degree distributions), ``"hub"`` (community/degree orders that
+        like skewed distributions) or ``"baseline"``.  Drives the
+        heuristic planner's affinity term.
+    square_only:
+        Vertex orderings derived from the adjacency graph need a square
+        operand; only the identity order works on rectangles.
+    planner_rank:
+        When non-``None``, the algorithm is part of the planners'
+        default candidate space, tried in ascending rank order.
+    """
+
+    family: str = "other"
+    square_only: bool = True
+    planner_rank: int | None = None
+
+
+def register(
+    name: str,
+    *,
+    family: str = "other",
+    square_only: bool = True,
+    planner_rank: int | None = None,
+):
+    """Decorator registering a reordering under the paper's name.
+
+    Keyword arguments declare the algorithm's :class:`ReorderingMeta`
+    capability tags (consumed by :mod:`repro.pipeline` and the engine
+    planner).
+    """
 
     def deco(fn: Callable[..., ReorderingResult]):
         if name in _REGISTRY:
             raise ValueError(f"duplicate reordering name {name!r}")
         _REGISTRY[name] = fn
+        _META[name] = ReorderingMeta(family=family, square_only=square_only, planner_rank=planner_rank)
         fn.reordering_name = name
         return fn
 
     return deco
+
+
+def get_reordering_meta(name: str) -> ReorderingMeta:
+    """Capability tags of a registered reordering."""
+    if name not in _META:
+        raise KeyError(f"unknown reordering {name!r}; available: {sorted(_REGISTRY)}")
+    return _META[name]
 
 
 def get_reordering(name: str) -> Callable[..., ReorderingResult]:

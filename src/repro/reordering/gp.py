@@ -23,7 +23,7 @@ from .partition import recursive_partition
 __all__ = ["gp_order"]
 
 
-@register("gp")
+@register("gp", family="bandwidth")
 def gp_order(A: CSRMatrix, *, seed: int = 0, k: int | None = None, target_rows: int = 64) -> ReorderingResult:
     """Graph-partitioning ordering (edge-cut objective, recursive bisection)."""
     adj = Adjacency.from_matrix(A)

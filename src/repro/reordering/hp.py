@@ -33,7 +33,7 @@ from .partition import recursive_partition
 __all__ = ["hp_order"]
 
 
-@register("hp")
+@register("hp", family="bandwidth")
 def hp_order(
     A: CSRMatrix,
     *,

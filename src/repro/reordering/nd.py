@@ -22,7 +22,7 @@ from .partition import _subgraph, bisect
 __all__ = ["nd_order"]
 
 
-@register("nd")
+@register("nd", family="bandwidth")
 def nd_order(A: CSRMatrix, *, seed: int = 0, leaf_size: int = 64) -> ReorderingResult:
     """Nested-dissection ordering of the graph of ``A``."""
     adj = Adjacency.from_matrix(A)

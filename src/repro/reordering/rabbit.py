@@ -24,7 +24,7 @@ from .graph import Adjacency
 __all__ = ["rabbit_order"]
 
 
-@register("rabbit")
+@register("rabbit", family="hub", planner_rank=3)
 def rabbit_order(A: CSRMatrix, *, seed: int = 0) -> ReorderingResult:
     """Rabbit-style community merge ordering (see module docstring)."""
     adj = Adjacency.from_matrix(A)

@@ -18,7 +18,7 @@ from .graph import Adjacency, connected_components, pseudo_peripheral_node
 __all__ = ["rcm_order"]
 
 
-@register("rcm")
+@register("rcm", family="bandwidth", planner_rank=1)
 def rcm_order(A: CSRMatrix, *, seed: int = 0) -> ReorderingResult:
     """Reverse Cuthill–McKee over the undirected graph of ``A``."""
     adj = Adjacency.from_matrix(A)

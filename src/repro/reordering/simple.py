@@ -22,20 +22,20 @@ from .base import ReorderingResult, register
 __all__ = ["original_order", "random_shuffle", "degree_order", "gray_order"]
 
 
-@register("original")
+@register("original", family="baseline", square_only=False)
 def original_order(A: CSRMatrix, *, seed: int = 0) -> ReorderingResult:
     """Identity permutation (the paper's baseline order)."""
     return ReorderingResult(np.arange(A.nrows, dtype=np.int64), "original", work=0)
 
 
-@register("shuffled")
+@register("shuffled", family="baseline")
 def random_shuffle(A: CSRMatrix, *, seed: int = 0) -> ReorderingResult:
     """Uniform random permutation (paper's extreme baseline)."""
     rng = np.random.default_rng(seed)
     return ReorderingResult(rng.permutation(A.nrows).astype(np.int64), "shuffled", work=A.nrows)
 
 
-@register("degree")
+@register("degree", family="hub", planner_rank=4)
 def degree_order(A: CSRMatrix, *, seed: int = 0) -> ReorderingResult:
     """Rows sorted by descending degree (nnz), ties by original index."""
     lens = np.diff(A.indptr)
@@ -55,7 +55,7 @@ def _gray_decode(sig: np.ndarray) -> np.ndarray:
     return b
 
 
-@register("gray")
+@register("gray", family="bandwidth")
 def gray_order(A: CSRMatrix, *, seed: int = 0, blocks: int = 64, dense_threshold: float = 0.5) -> ReorderingResult:
     """Gray-code ordering [51].
 

@@ -19,7 +19,7 @@ from .graph import Adjacency, connected_components
 __all__ = ["slashburn_order"]
 
 
-@register("slashburn")
+@register("slashburn", family="hub", planner_rank=5)
 def slashburn_order(A: CSRMatrix, *, seed: int = 0, k_ratio: float = 0.005, max_rounds: int = 200) -> ReorderingResult:
     """SlashBurn with hub fraction ``k_ratio`` per round (paper default 0.5%)."""
     adj = Adjacency.from_matrix(A)

@@ -81,10 +81,16 @@ def test_plan_without_gain_never_breaks_even():
 def test_plan_validation():
     with pytest.raises(ValueError, match="cluster kernel"):
         make_plan(clustering=None)
-    with pytest.raises(ValueError, match="hierarchical"):
-        make_plan(clustering="hierarchical")
+    # Since the pipeline-spec API, hierarchical clustering composes with
+    # an explicit reordering (it is built on the reordered operand), so
+    # rcm+hierarchical is a *valid* plan now.
+    assert make_plan(clustering="hierarchical").clustering == "hierarchical"
     with pytest.raises(ValueError, match="kernel"):
         make_plan(kernel="gpu")
+    with pytest.raises(ValueError, match="clustering"):
+        make_plan(clustering="quantum")
+    with pytest.raises(ValueError, match="reordering"):
+        make_plan(reordering="quantum")
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,167 @@
+"""End-to-end pipeline execution: the compatibility property test (every
+registry-compatible triple runs and is bitwise-identical to row-wise
+SpGEMM), the ISSUE acceptance spec through engine and runner, and the
+CLI ``--pipeline`` path."""
+
+import numpy as np
+import pytest
+
+from repro import PipelineSpec, SpGEMMEngine
+from repro.core import spgemm_rowwise
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import run_pipeline
+from repro.matrices import generators as G
+from repro.matrices.perturb import scramble
+from repro.pipeline import enumerate_compatible
+
+SMALL_CFG = ExperimentConfig(n_threads=2, cache_lines=128)
+
+ACCEPTANCE_SPEC = "rcm+hierarchical:max_th=8+cluster"
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return scramble(G.grid2d(5, 5, seed=3), seed=1)
+
+
+@pytest.fixture(scope="module")
+def small_ref(small_matrix):
+    return spgemm_rowwise(small_matrix, small_matrix)
+
+
+def assert_bitwise_equal(C, ref):
+    assert C.shape == ref.shape
+    assert np.array_equal(C.indptr, ref.indptr)
+    assert np.array_equal(C.indices, ref.indices)
+    assert np.array_equal(C.values, ref.values)  # bitwise, not allclose
+
+
+# ----------------------------------------------------------------------
+# Property: every compatible triple runs and matches row-wise bitwise
+# ----------------------------------------------------------------------
+ALL_TRIPLES = enumerate_compatible(square=True)
+
+
+@pytest.mark.parametrize("spec", ALL_TRIPLES, ids=[str(s) for s in ALL_TRIPLES])
+def test_every_compatible_triple_is_bitwise_exact(spec, small_matrix, small_ref):
+    C = spec.run(small_matrix, seed=0)
+    assert_bitwise_equal(C, small_ref)
+
+
+def test_rectangular_space_excludes_square_only_components():
+    rect = enumerate_compatible(square=False)
+    assert rect  # original-order pipelines always remain
+    A = G.grid2d(5, 5, seed=0).extract_rows(np.arange(15))
+    B = G.grid2d(5, 5, seed=0)
+    ref = spgemm_rowwise(A, B)
+    for spec in rect:
+        assert not spec.square_only
+        assert_bitwise_equal(spec.run(A, B), ref)
+
+
+# ----------------------------------------------------------------------
+# The ISSUE acceptance criterion, end to end
+# ----------------------------------------------------------------------
+def test_acceptance_spec_round_trips_builds_and_runs_everywhere():
+    spec = PipelineSpec.parse(ACCEPTANCE_SPEC)
+    assert PipelineSpec.parse(str(spec)) == spec  # round-trip
+
+    A = scramble(G.block_diagonal(16, 12, density=0.5, seed=1), seed=7)
+    ref = spgemm_rowwise(A, A)
+
+    built = spec.build(A, cfg=SMALL_CFG)  # builds
+    assert built.Ac is not None and built.perm is not None
+
+    # Runs via SpGEMMEngine.multiply…
+    eng = SpGEMMEngine(pipeline=spec, config=SMALL_CFG)
+    assert_bitwise_equal(eng.multiply(A), ref)
+    plan = eng.plan_for(A)
+    assert plan.policy == "pipeline"
+    assert plan.pipeline() == spec
+
+    # …and via experiments/runner.py.
+    result = run_pipeline(A, spec, SMALL_CFG)
+    assert_bitwise_equal(result.C, ref)
+    assert result.record.pre_time > 0
+    assert np.isfinite(result.baseline_time)
+
+
+def test_engine_per_call_pipeline_override(small_matrix, small_ref):
+    eng = SpGEMMEngine(policy="heuristic", config=SMALL_CFG)
+    assert_bitwise_equal(eng.multiply(small_matrix, pipeline="rcm+fixed:4+cluster"), small_ref)
+    assert_bitwise_equal(eng.multiply(small_matrix), small_ref)  # policy path intact
+    assert_bitwise_equal(
+        eng.multiply(small_matrix, pipeline="rabbit+tiled:tile_cols=8"), small_ref
+    )
+    s = eng.stats()
+    assert s.multiplies == 3
+    labels = set(s.per_plan)
+    assert "rcm+fixed/cluster" in labels
+    assert "rabbit+csr/tiled" in labels
+
+
+def test_engine_pipeline_plans_are_deterministic(small_matrix):
+    e1 = SpGEMMEngine(pipeline=ACCEPTANCE_SPEC, config=SMALL_CFG, seed=0)
+    e2 = SpGEMMEngine(pipeline=ACCEPTANCE_SPEC, config=SMALL_CFG, seed=0)
+    assert e1.plan_for(small_matrix) == e2.plan_for(small_matrix)
+
+
+def test_engine_pipeline_plans_are_cached(small_matrix):
+    eng = SpGEMMEngine(pipeline=ACCEPTANCE_SPEC, config=SMALL_CFG, seed=0)
+    eng.multiply(small_matrix)
+    eng.multiply(small_matrix)
+    s = eng.stats()
+    assert s.plans_built == 1
+    assert s.plan_cache_hits == 1
+    assert s.operands_prepared == 1 and s.operands_reused == 2
+
+
+def test_engine_pipeline_with_distinct_params_do_not_share_operands(small_matrix, small_ref):
+    # Same (reordering, clustering) with different parameters must not
+    # collide in the prepared-operand cache.
+    eng = SpGEMMEngine(policy="heuristic", config=SMALL_CFG)
+    assert_bitwise_equal(eng.multiply(small_matrix, pipeline="original+fixed:2+cluster"), small_ref)
+    assert_bitwise_equal(eng.multiply(small_matrix, pipeline="original+fixed:8+cluster"), small_ref)
+    assert eng.stats().operands_prepared == 2
+
+
+def test_pipeline_policy_requires_spec():
+    with pytest.raises(ValueError, match="pipeline"):
+        SpGEMMEngine(policy="pipeline", config=SMALL_CFG)
+
+
+def test_engine_rejects_square_only_pipeline_on_rectangle():
+    A = G.grid2d(5, 5, seed=0).extract_rows(np.arange(15))
+    B = G.grid2d(5, 5, seed=0)
+    eng = SpGEMMEngine(config=SMALL_CFG)
+    with pytest.raises(ValueError, match="square"):
+        eng.multiply(A, B, pipeline="rcm+rowwise")
+
+
+def test_run_pipeline_accepts_suite_names_and_strings():
+    result = run_pipeline("pdb1", "original+variable+cluster", SMALL_CFG)
+    from repro.matrices import get_matrix
+
+    A = get_matrix("pdb1")
+    assert_bitwise_equal(result.C, spgemm_rowwise(A, A))
+    assert result.speedup > 0
+
+
+def test_cli_engine_pipeline_smoke(capsys):
+    from repro.experiments.cli import main
+
+    rc = main(["engine", "--matrix", "pdb1", "--pipeline", "rcm+fixed:8+cluster", "--iters", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "rcm+fixed/cluster" in out
+    assert "rcm+fixed:cluster_size=8+cluster" in out
+
+
+def test_cli_pipelines_listing_smoke(capsys):
+    from repro.experiments.cli import main
+
+    rc = main(["pipelines"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for name in ("rcm", "hierarchical", "tiled"):
+        assert name in out

@@ -1,0 +1,132 @@
+"""Backend bench — per-backend wall-clock speedup vs ``reference``.
+
+Seeds the bench trajectory for the execution-backend axis (ISSUE 3):
+each generator-suite matrix is prepared once per kernel dataflow
+(row-wise on plain CSR, cluster-wise on ``CSR_Cluster``) and then
+executed through every registered backend that supports the kernel.
+Only the *execution* is timed — preparation is the amortised one-off the
+engine already accounts for — so the numbers isolate exactly what the
+backend axis changes.
+
+Emits ``BENCH_backends.json`` at the repository root::
+
+    {
+      "matrices": {"web1200": {"rowwise": {"scipy": {"seconds": ..,
+                                                     "speedup_vs_reference": ..}, ...}}},
+      "summary":  {"rowwise@scipy": <geomean speedup>, ...},
+    }
+
+Run directly (``python benchmarks/bench_backends.py``) or via pytest.
+The pytest entry point asserts the ISSUE acceptance bar: ``scipy`` or
+``vectorized`` at least 2× faster than ``reference`` on at least one
+generator-suite matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.backends import ExecutionContext, execute, get_backend, parse_backend
+from repro.matrices import generators as G
+from repro.pipeline import PipelineSpec, available_components
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+
+#: Sharded runs with a small fixed pool so results are comparable across
+#: machines (and with the CI smoke matrix).
+SHARDED = "sharded:workers=2"
+
+#: Generator-suite matrices (moderate sizes: the reference backend is
+#: pure python and is timed too).
+MATRICES = {
+    "web1000": lambda: G.web_graph(1000, seed=0),
+    "grid32": lambda: G.grid2d(32, 32, seed=0),
+    "banded900": lambda: G.banded_random(900, bandwidth=10, fill=0.4, seed=0),
+    "blocks60x12": lambda: G.block_diagonal(60, 12, density=0.4, seed=0),
+}
+
+#: (kernel label, pipeline to prepare, backends to time).
+CASES = [
+    ("rowwise", "original+none+rowwise", ["reference", "scipy", SHARDED]),
+    ("cluster", "original+fixed:8+cluster", ["reference", "scipy", "vectorized", SHARDED]),
+]
+
+
+def _time_execute(built, B, backend_ref: str, reps: int = 3) -> float:
+    """Best-of-``reps`` wall-clock seconds for one backend execution."""
+    name, params = parse_backend(backend_ref)
+    spec = built.spec
+    kernel_params = spec.kernel_info.resolve_params(spec.kernel_params, None)
+    ctx = ExecutionContext()
+    # Warm the pool / import path once so timings measure steady state.
+    execute(built, B, kernel=spec.kernel, kernel_params=kernel_params,
+            backend=name, backend_params=params, ctx=ctx)
+    best = math.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        execute(built, B, kernel=spec.kernel, kernel_params=kernel_params,
+                backend=name, backend_params=params, ctx=ctx)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_bench() -> dict:
+    registered = set(available_components("backend"))
+    results: dict = {"matrices": {}, "summary": {}}
+    per_case: dict[str, list[float]] = {}
+    for mat_name, build_matrix in MATRICES.items():
+        A = build_matrix()
+        results["matrices"][mat_name] = {}
+        for kernel_label, spec_text, backend_refs in CASES:
+            built = PipelineSpec.parse(spec_text).build(A)
+            cell: dict = {}
+            t_ref = None
+            for backend_ref in backend_refs:
+                base_name = backend_ref.split(":", 1)[0]
+                if base_name not in registered:
+                    continue  # e.g. scipy-less environment
+                seconds = _time_execute(built, A, backend_ref)
+                if base_name == "reference":
+                    t_ref = seconds
+                speedup = (t_ref / seconds) if t_ref else float("nan")
+                cell[backend_ref] = {
+                    "seconds": round(seconds, 6),
+                    "speedup_vs_reference": round(speedup, 3),
+                    "bitwise": get_backend(*parse_backend(backend_ref)).bitwise_reference,
+                }
+                per_case.setdefault(f"{kernel_label}@{backend_ref}", []).append(speedup)
+            results["matrices"][mat_name][kernel_label] = cell
+    for case, speedups in per_case.items():
+        vals = [s for s in speedups if s > 0 and not math.isnan(s)]
+        gm = math.exp(sum(math.log(s) for s in vals) / len(vals)) if vals else float("nan")
+        results["summary"][case] = round(gm, 3)
+    return results
+
+
+def save_bench() -> dict:
+    results = run_bench()
+    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return results
+
+
+def test_backend_bench_meets_acceptance_bar():
+    """ISSUE 3 acceptance: scipy or vectorized ≥ 2× the reference on at
+    least one generator-suite matrix (and the JSON artefact is emitted)."""
+    results = save_bench()
+    best = 0.0
+    for mat_cells in results["matrices"].values():
+        for cells in mat_cells.values():
+            for backend_ref, cell in cells.items():
+                if backend_ref.split(":", 1)[0] in ("scipy", "vectorized"):
+                    best = max(best, cell["speedup_vs_reference"])
+    assert best >= 2.0, f"fast backends peaked at {best:.2f}x vs reference"
+    assert OUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    res = save_bench()
+    print(json.dumps(res["summary"], indent=2, sort_keys=True))
+    print(f"wrote {OUT_PATH}")

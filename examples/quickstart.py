@@ -9,8 +9,10 @@ Reproduces, executably, the schematic figures of the paper:
 * Fig. 7 — similar-row discovery via binarised A·Aᵀ (Alg. 3's input),
 
 then runs every SpGEMM variant, shows the declarative pipeline-spec API
-naming whole configurations, and shows hierarchical clustering speeding
-up a scrambled block matrix on the simulated machine.
+naming whole configurations (including the ``@backend`` execution axis:
+scipy / vectorized / sharded executors behind one contract), and shows
+hierarchical clustering speeding up a scrambled block matrix on the
+simulated machine.
 
 Run:  python examples/quickstart.py
 """
@@ -76,6 +78,17 @@ def main() -> None:
         C = spec.run(A)  # bitwise-identical to spgemm_rowwise(A, A)
         ok = np.array_equal(C.values, C_ref.values)
         print(f"  {text:38s} -> {spec}   bitwise vs row-wise: {ok}")
+
+    print("\n=== Execution backends: '@' picks how the pipeline runs ===")
+    for text in (
+        "rcm+variable+cluster@vectorized",       # numpy-batched, still bitwise
+        "rcm+variable+cluster@scipy",            # native matmul, allclose
+        "rcm+variable+cluster@sharded:workers=2",  # process-pool row shards
+    ):
+        spec = PipelineSpec.parse(text)
+        C = spec.run(A)
+        same = "bitwise" if np.array_equal(C.values, C_ref.values) else "allclose"
+        print(f"  {text:42s} claims bitwise={spec.bitwise!s:5s} got: {same}, pattern ok: {C.same_pattern(C_ref)}")
 
     print("\n=== Hierarchical clustering on a scrambled block matrix ===")
     big = scramble(G.block_diagonal(24, 16, density=0.5, seed=1), seed=7)

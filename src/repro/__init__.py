@@ -16,8 +16,12 @@ The package is organised bottom-up (see DESIGN.md):
   and amortised preprocessing (the serving layer).
 * :mod:`repro.pipeline` — unified component registry + declarative
   :class:`PipelineSpec` (the one public way to name a configuration).
+* :mod:`repro.backends` — execution backends behind one
+  :class:`ExecutionBackend` contract (reference / scipy / vectorized /
+  sharded); the single kernel-dispatch path.
 """
 
+from .backends import ExecutionBackend, ExecutionContext
 from .core import (
     COOMatrix,
     CSRCluster,
@@ -29,7 +33,7 @@ from .core import (
 from .engine import ExecutionPlan, SpGEMMEngine
 from .pipeline import PipelineSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "COOMatrix",
@@ -41,5 +45,7 @@ __all__ = [
     "SpGEMMEngine",
     "ExecutionPlan",
     "PipelineSpec",
+    "ExecutionBackend",
+    "ExecutionContext",
     "__version__",
 ]

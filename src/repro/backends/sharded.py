@@ -1,0 +1,278 @@
+"""The ``sharded`` backend — process-pool row/cluster partition executor.
+
+Splits the prepared operand into contiguous shards with
+:func:`~repro.machine.parallel.balanced_contiguous_partition` (the same
+prefix-sum splitter the simulated machine schedules with), executes each
+shard through an *inner* backend — any of ``reference`` / ``scipy`` /
+``vectorized`` — in a worker process, and stitches the row blocks back
+together.  Because row-wise and tiled SpGEMM compute each output row
+independently, and cluster-wise SpGEMM computes each *cluster*
+independently, sharding at those boundaries reproduces the inner
+backend's output exactly: the backend inherits its inner's
+``bitwise_reference`` flag and kernel support.
+
+Sharding axis
+-------------
+* non-cluster kernels — rows of ``operand.Ar``, weighted by per-row
+  multiply-add counts;
+* ``cluster`` kernel — whole clusters of ``operand.Ac`` (a shard is a
+  rebased ``CSRCluster`` slice), weighted by padded fiber work.
+
+Graceful degradation
+--------------------
+When the process pool cannot be used, the same shards run sequentially
+in-process — results are identical by construction.  Deliberate
+in-process execution (``workers=1``; ``workers=0`` means "auto", i.e.
+``os.cpu_count()``; the ``REPRO_SHARDED_INPROCESS=1`` kill switch) is
+silent; an *attempted* pool that fails — sandboxes that cannot spawn, a
+pool breaking mid-flight — additionally counts the event in
+``ctx.stats["sharded_pool_fallbacks"]``.  A broken pool is torn down so
+the next execution can try a fresh one.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+import numpy as np
+
+from .base import ExecutionBackend, ExecutionContext
+
+__all__ = ["ShardedBackend", "ShardOperand"]
+
+#: Environment kill switch: force in-process execution (no pool).
+INPROCESS_ENV = "REPRO_SHARDED_INPROCESS"
+
+
+@dataclass
+class ShardOperand:
+    """One shard of a prepared operand (satisfies ``ClusteredOperand``).
+
+    Picklable by construction — it crosses the process boundary.
+    """
+
+    Ar: Any
+    Ac: Any = None
+
+
+def _run_shard(inner_name, inner_params, kernel, kernel_params, shard, B):
+    """Worker entry point: execute one shard through the inner backend.
+
+    Module-level (picklable); builds a throwaway context — shard stats
+    are aggregated by the parent, not the workers.
+    """
+    from . import get_backend
+
+    inner = get_backend(inner_name, inner_params)
+    return inner.execute(shard, B, kernel=kernel, kernel_params=kernel_params, ctx=ExecutionContext())
+
+
+def _vstack_csr(blocks, ncols: int):
+    """Stack CSR row blocks (shard outputs, in shard order)."""
+    from ..core.csr import CSRMatrix
+
+    nrows = sum(b.nrows for b in blocks)
+    indptr = np.zeros(nrows + 1, dtype=np.int64)
+    pos, off = 1, 0
+    for b in blocks:
+        indptr[pos : pos + b.nrows] = b.indptr[1:] + off
+        pos += b.nrows
+        off += b.nnz
+    indices = np.concatenate([b.indices for b in blocks]) if blocks else np.zeros(0, np.int64)
+    values = np.concatenate([b.values for b in blocks]) if blocks else np.zeros(0, np.float64)
+    return CSRMatrix(indptr, indices, values, (nrows, ncols), check=False)
+
+
+def _slice_cluster(Ac, c0: int, c1: int) -> Any:
+    """Rebase clusters ``[c0, c1)`` of ``Ac`` into a standalone
+    ``CSRCluster`` whose rows are numbered ``0..k`` in cluster order
+    (so shard outputs are already in cluster-local order)."""
+    from ..core.csr_cluster import CSRCluster
+
+    r0, r1 = int(Ac.cluster_ptr[c0]), int(Ac.cluster_ptr[c1])
+    p0, p1 = int(Ac.col_ptr[c0]), int(Ac.col_ptr[c1])
+    v0, v1 = int(Ac.val_ptr[c0]), int(Ac.val_ptr[c1])
+    return CSRCluster(
+        row_ids=np.arange(r1 - r0, dtype=np.int64),
+        cluster_ptr=Ac.cluster_ptr[c0 : c1 + 1] - r0,
+        col_ptr=Ac.col_ptr[c0 : c1 + 1] - p0,
+        cols=Ac.cols[p0:p1],
+        val_ptr=Ac.val_ptr[c0 : c1 + 1] - v0,
+        vals=Ac.vals[v0:v1],
+        mask=Ac.mask[v0:v1],
+        shape=(r1 - r0, Ac.ncols),
+        fixed_size=Ac.fixed_size,
+    )
+
+
+class ShardedBackend(ExecutionBackend):
+    """Row/cluster-partition executor over worker processes."""
+
+    name: ClassVar[str] = "sharded"
+    parallelism: ClassVar[str] = "process"
+    planner_rank: ClassVar[int | None] = None  # composite: pin it explicitly
+    model_speed_factor: ClassVar[float] = 0.6
+    description: ClassVar[str] = "process-pool row/cluster shards over an inner backend"
+
+    def __init__(self, *, workers: int = 2, inner: str = "reference") -> None:
+        """``workers``: pool width — ``1`` (or fewer shards) runs
+        in-process, ``0`` means "auto" (``os.cpu_count()``).  ``inner``:
+        the backend each shard executes through."""
+        self.workers = max(0, int(workers))
+        self.inner_name = str(inner)
+        if self.inner_name == self.name:
+            raise ValueError("sharded backend cannot nest itself as inner")
+        self._pool = None
+        self._pool_workers = 0
+        self._atexit_registered = False
+
+    # -- capabilities inherited from the inner backend ------------------
+    @property
+    def inner(self) -> ExecutionBackend:
+        from . import get_backend
+
+        return get_backend(self.inner_name)
+
+    @property
+    def bitwise_reference(self) -> bool:
+        return self.inner.bitwise_reference
+
+    @property
+    def supported_kernels(self) -> tuple[str, ...] | None:
+        return self.inner.supported_kernels
+
+    # -- sharding -------------------------------------------------------
+    def _shards(self, operand, B, kernel: str, parts: int):
+        """Split the operand into ``(ShardOperand, row_ids|None)`` pairs."""
+        from ..machine.parallel import balanced_contiguous_partition
+        from ..pipeline import get_component
+
+        if get_component("kernel", kernel).requires_clustering:
+            Ac = operand.Ac
+            if Ac is None:
+                raise ValueError("sharded backend needs a clustered operand for the cluster kernel")
+            sizes = Ac.cluster_sizes()
+            weights = (np.diff(Ac.col_ptr) * sizes).astype(np.float64)  # padded fiber work
+            chunks = balanced_contiguous_partition(weights, parts)
+            shards = []
+            for chunk in chunks:
+                if chunk.size == 0:
+                    continue
+                c0, c1 = int(chunk[0]), int(chunk[-1]) + 1
+                rows = Ac.row_ids[Ac.cluster_ptr[c0] : Ac.cluster_ptr[c1]]
+                # The CSR slice rides along in cluster-local row order so
+                # inner backends that consume ``operand.Ar`` (scipy) see
+                # the same rows the cluster shard computes, in the same
+                # order.
+                Ar_shard = operand.Ar.extract_rows(rows) if operand.Ar is not None else None
+                shards.append((ShardOperand(Ar=Ar_shard, Ac=_slice_cluster(Ac, c0, c1)), rows))
+            return shards, True
+        Ar = operand.Ar
+        b_lens = np.diff(B.indptr)
+        row_of = np.repeat(np.arange(Ar.nrows, dtype=np.int64), np.diff(Ar.indptr))
+        weights = np.bincount(row_of, weights=b_lens[Ar.indices], minlength=Ar.nrows)
+        chunks = balanced_contiguous_partition(weights, parts)
+        shards = [
+            (ShardOperand(Ar=Ar.extract_rows(chunk)), None) for chunk in chunks if chunk.size
+        ]
+        return shards, False
+
+    # -- pool management ------------------------------------------------
+    def _get_pool(self, workers: int):
+        if self._pool is not None and self._pool_workers != workers:
+            self._teardown_pool()  # caller changed width (ctx.workers)
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+            # Pools are long-lived (instances are memoised); make sure
+            # interpreter teardown doesn't race their worker threads.
+            # One callback per instance, closing whatever pool is
+            # current — teardown/recreate cycles must not accumulate
+            # registrations pinning dead executors.
+            if not self._atexit_registered:
+                import atexit
+
+                atexit.register(self.close)
+                self._atexit_registered = True
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        """Discard a broken pool; the *next* execution builds a fresh
+        one (a transient failure must not disable sharding forever —
+        the current execution falls back in-process instead of
+        retrying)."""
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (a later execute reopens it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- execution ------------------------------------------------------
+    def execute(
+        self,
+        operand: Any,
+        B: Any,
+        *,
+        kernel: str,
+        kernel_params: dict[str, Any],
+        ctx: ExecutionContext,
+    ) -> Any:
+        if not self.inner.supports_kernel(kernel):
+            raise ValueError(
+                f"sharded inner backend {self.inner_name!r} does not support kernel {kernel!r}"
+            )
+        workers = ctx.workers or self.workers or (os.cpu_count() or 1)
+        shards, clustered = self._shards(operand, B, kernel, workers)
+        ctx.bump("sharded_executions")
+        ctx.bump("sharded_shards", len(shards))
+
+        results = None
+        want_pool = (
+            workers > 1 and len(shards) > 1 and os.environ.get(INPROCESS_ENV, "") != "1"
+        )
+        if want_pool:
+            results = self._execute_pool(shards, B, kernel, kernel_params, workers)
+            if results is None:
+                ctx.bump("sharded_pool_fallbacks")
+        if results is None:
+            inner = self.inner
+            results = [
+                inner.execute(shard, B, kernel=kernel, kernel_params=kernel_params, ctx=ctx)
+                for shard, _ in shards
+            ]
+
+        C = _vstack_csr(results, B.ncols)
+        if clustered:
+            # Shard outputs are in cluster order; scatter rows back to the
+            # operand's row order (the cluster kernel's contract).
+            row_ids = np.concatenate([rows for _, rows in shards])
+            inv = np.empty(row_ids.size, dtype=np.int64)
+            inv[row_ids] = np.arange(row_ids.size, dtype=np.int64)
+            C = C.permute_rows(inv)
+        return C
+
+    def _execute_pool(self, shards, B, kernel, kernel_params, workers):
+        """Run shards on the process pool; ``None`` signals fallback."""
+        try:
+            pool = self._get_pool(workers)
+            futures = [
+                pool.submit(_run_shard, self.inner_name, (), kernel, kernel_params, shard, B)
+                for shard, _ in shards
+            ]
+            return [f.result() for f in futures]
+        except Exception:
+            # Pool unavailable (sandbox, pickling, broken worker, …):
+            # tear it down and let the caller run in-process.
+            self._teardown_pool()
+            return None

@@ -2,11 +2,12 @@
 
 The engine turns the repository's measurement machinery into a runtime:
 :class:`SpGEMMEngine` fingerprints operands, selects a
-(reordering, clustering, kernel) configuration via a pluggable planner
-policy, caches the resulting :class:`ExecutionPlan` keyed by sparsity
-pattern, amortises preprocessing across repeated multiplies, and
-accounts for when the investment breaks even (paper Fig. 10 / Table 4,
-§5 future work).  See DESIGN.md §6.
+(reordering, clustering, kernel, backend) configuration via a pluggable
+planner policy, caches the resulting :class:`ExecutionPlan` keyed by
+sparsity pattern, executes it through :mod:`repro.backends`, amortises
+preprocessing across repeated multiplies, and accounts for when the
+investment breaks even (paper Fig. 10 / Table 4, §5 future work).  See
+DESIGN.md §6 and §10.
 """
 
 from .engine import EngineStats, SpGEMMEngine
@@ -24,6 +25,7 @@ from .planner import (
     default_candidates,
     default_training_corpus,
     make_planner,
+    planner_backends,
     planner_reorderings,
     prepare_candidate,
 )
@@ -47,6 +49,7 @@ __all__ = [
     "default_candidates",
     "default_training_corpus",
     "make_planner",
+    "planner_backends",
     "planner_reorderings",
     "prepare_candidate",
 ]

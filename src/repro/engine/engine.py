@@ -8,9 +8,12 @@ needs: callers hand it matrices and get products back, while the engine
    autotune) — or reuses a cached plan when the pattern was seen before,
 3. **prepares** the operand (reorder + cluster build), reusing the
    prepared form across calls with identical values,
-4. **executes** the planned kernel and un-permutes the result, so output
-   is bitwise-identical to :func:`~repro.core.spgemm.spgemm_rowwise` on
-   the original operands,
+4. **executes** the plan through its execution backend
+   (:mod:`repro.backends`) and un-permutes the result — under the
+   default (bitwise) backend policy the output is bitwise-identical to
+   :func:`~repro.core.spgemm.spgemm_rowwise` on the original operands;
+   ``backend="auto"`` / pinned non-bitwise backends trade that for
+   pattern-identical ``allclose`` results at native speed,
 5. **accounts**: cumulative planning / preprocessing / execution time
    (both wall-clock and model units) and the break-even iteration count
    at which the one-off costs amortise (paper Fig. 10, Table 4).
@@ -30,6 +33,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
+from ..backends import ExecutionContext, execute as backend_execute
 from ..core.csr import CSRMatrix
 from ..experiments.config import ExperimentConfig
 from ..machine import SimulatedMachine
@@ -68,6 +72,7 @@ class EngineStats:
     model_executed_cost: float = 0.0
     model_baseline_cost: float = 0.0
     per_plan: dict = field(default_factory=dict)  # plan label → multiply count
+    backend_events: dict = field(default_factory=dict)  # ExecutionContext counters
 
     # ------------------------------------------------------------------
     @property
@@ -127,6 +132,8 @@ class EngineStats:
         ]
         for label, n in sorted(self.per_plan.items()):
             lines.append(f"  plan {label}: {n} multiplies")
+        for key, n in sorted(self.backend_events.items()):
+            lines.append(f"  backend {key}: {n}")
         return "\n".join(lines)
 
 
@@ -163,6 +170,17 @@ class SpGEMMEngine:
         for every multiply instead of searching — the declarative
         entry point.  Individual calls can also override the planner
         per-multiply via ``multiply(..., pipeline=...)``.
+    backend:
+        Execution-backend policy (:mod:`repro.backends`).  ``None``
+        (default) keeps the engine on the ``reference`` backend — the
+        bitwise contract.  ``"auto"`` lets the planner enumerate every
+        planner-ranked backend (results may then be ``allclose`` rather
+        than bit-identical when a non-bitwise backend wins).  A backend
+        name — optionally parameterised, ``"scipy"`` /
+        ``"sharded:workers=4,inner=scipy"`` — pins every plan to that
+        backend.  Individual calls can override via
+        ``multiply(..., backend=...)``; with ``pipeline=``, the
+        backend override is applied onto the spec.
     """
 
     def __init__(
@@ -178,15 +196,18 @@ class SpGEMMEngine:
         seed: int = 0,
         operand_cache_size: int = 8,
         pipeline: "PipelineSpec | str | None" = None,
+        backend: str | None = None,
     ) -> None:
         from ..experiments.runner import machine_for
 
         self.cfg = config or ExperimentConfig()
         self.machine = machine or machine_for(self.cfg)
         self.seed = int(seed)
+        self.backend = backend
         if pipeline is not None:
             policy = "pipeline"
-        kw = dict(cfg=self.cfg, machine=self.machine, seed=self.seed)
+            pipeline = self._spec_with_backend(pipeline, backend)
+        kw = dict(cfg=self.cfg, machine=self.machine, seed=self.seed, backend=backend)
         if policy == "predictor":
             kw["predictor"] = predictor
         elif policy == "autotune":
@@ -195,6 +216,7 @@ class SpGEMMEngine:
             if pipeline is None:
                 raise ValueError("policy='pipeline' needs a pipeline= spec")
             kw["spec"] = pipeline
+            kw.pop("backend")  # the spec carries the backend
         self.planner: Planner = make_planner(policy, **kw)
         self.policy = policy
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(persist=persist_plans)
@@ -202,6 +224,8 @@ class SpGEMMEngine:
         self._operand_cap = max(1, int(operand_cache_size))
         self._fingerprints: "OrderedDict[str, MatrixFingerprint]" = OrderedDict()
         self._pipeline_planners: dict[str, Planner] = {}
+        self._backend_planners: dict[str, Planner] = {}
+        self._exec_ctx = ExecutionContext(cfg=self.cfg)
         self._stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -243,19 +267,46 @@ class SpGEMMEngine:
             ]
         )
 
-    def _resolve_planner(self, pipeline) -> Planner:
-        """The planner for one call: the engine's configured policy, or
-        a per-spec fixed planner when ``pipeline=`` is given (memoised —
-        repeated calls with the same spec share plan-cache entries)."""
-        if pipeline is None:
+    @staticmethod
+    def _spec_with_backend(pipeline, backend) -> PipelineSpec:
+        """Apply a backend override onto a pipeline spec (``"auto"`` and
+        ``None`` keep the spec's own backend)."""
+        spec = PipelineSpec.parse(pipeline)
+        if backend and backend != "auto":
+            spec = spec.with_backend(backend)
+        return spec
+
+    def _resolve_planner(self, pipeline, backend=None) -> Planner:
+        """The planner for one call: the engine's configured policy, a
+        per-spec fixed planner when ``pipeline=`` is given, or a
+        backend-variant of the configured policy when only ``backend=``
+        is (all memoised — repeated calls share plan-cache entries)."""
+        if pipeline is not None:
+            key = str(self._spec_with_backend(pipeline, backend))
+            planner = self._pipeline_planners.get(key)
+            if planner is None:
+                planner = make_planner(
+                    "pipeline", spec=key, cfg=self.cfg, machine=self.machine, seed=self.seed
+                )
+                self._pipeline_planners[key] = planner
+            return planner
+        if backend is None or backend == self.backend:
             return self.planner
-        key = str(PipelineSpec.parse(pipeline))
-        planner = self._pipeline_planners.get(key)
+        if self.policy == "pipeline":
+            # Re-pin the engine's own spec onto the requested backend.
+            return self._resolve_planner(self.planner.spec, backend)
+        planner = self._backend_planners.get(backend)
         if planner is None:
-            planner = make_planner(
-                "pipeline", spec=key, cfg=self.cfg, machine=self.machine, seed=self.seed
-            )
-            self._pipeline_planners[key] = planner
+            kw = dict(cfg=self.cfg, machine=self.machine, seed=self.seed, backend=backend)
+            if self.policy == "autotune":
+                kw["top_k"] = self.planner.top_k
+            elif self.policy == "predictor":
+                # Share the fitted predictor (fitting on demand if the
+                # base planner has not planned yet) instead of letting
+                # the variant planner fit a duplicate corpus.
+                kw["predictor"] = self.planner.predictor
+            planner = make_planner(self.policy, **kw)
+            self._backend_planners[backend] = planner
         return planner
 
     @staticmethod
@@ -273,6 +324,7 @@ class SpGEMMEngine:
         *,
         workload: str | None = None,
         pipeline: "PipelineSpec | str | None" = None,
+        backend: str | None = None,
     ) -> ExecutionPlan:
         """The plan the engine would execute for ``A @ B``.
 
@@ -281,7 +333,9 @@ class SpGEMMEngine:
         hit/miss counters — only :meth:`multiply` does, so the ledger
         counts executions, not displays.
         """
-        return self._plan_for(A, B, workload=workload, pipeline=pipeline, count_lookup=False)
+        return self._plan_for(
+            A, B, workload=workload, pipeline=pipeline, backend=backend, count_lookup=False
+        )
 
     def _plan_for(
         self,
@@ -290,11 +344,12 @@ class SpGEMMEngine:
         *,
         workload: str | None = None,
         pipeline: "PipelineSpec | str | None" = None,
+        backend: str | None = None,
         count_lookup: bool = True,
     ) -> ExecutionPlan:
         Bx = A if B is None else B
         workload = workload or self._infer_workload(A, B)
-        planner = self._resolve_planner(pipeline)
+        planner = self._resolve_planner(pipeline, backend)
         t0 = time.perf_counter()
         fp = self._fingerprint(A)
         key = self._plan_key(fp, workload, planner)
@@ -375,32 +430,36 @@ class SpGEMMEngine:
         *,
         workload: str | None = None,
         pipeline: "PipelineSpec | str | None" = None,
+        backend: str | None = None,
     ) -> CSRMatrix:
         """Compute ``A @ B`` (``A²`` when ``B`` is omitted) via the plan.
 
-        The result equals :func:`~repro.core.spgemm.spgemm_rowwise` on
-        the original operands bitwise: the plan's permutation gathers
-        whole rows (``P·A``), so each output row's summation order is
-        unchanged and only row placement is inverted at the end.
-        ``pipeline`` pins the configuration for this call instead of
-        consulting the engine's planner policy.
+        Under the default (bitwise) backend policy the result equals
+        :func:`~repro.core.spgemm.spgemm_rowwise` on the original
+        operands bitwise: the plan's permutation gathers whole rows
+        (``P·A``), so each output row's summation order is unchanged and
+        only row placement is inverted at the end.  ``pipeline`` pins
+        the configuration for this call instead of consulting the
+        engine's planner policy; ``backend`` pins the execution backend
+        (a non-bitwise backend returns pattern-identical ``allclose``
+        results instead).
         """
         Bx = A if B is None else B
         if A.ncols != Bx.nrows:
             raise ValueError(f"inner dimensions differ: {A.shape} x {Bx.shape}")
-        plan = self._plan_for(A, B, workload=workload, pipeline=pipeline)
+        plan = self._plan_for(A, B, workload=workload, pipeline=pipeline, backend=backend)
         prep = self.prepare(A, plan)
         return self._execute(plan, prep, Bx)
 
     def _execute(self, plan: ExecutionPlan, prep: PreparedOperand, Bx: CSRMatrix) -> CSRMatrix:
-        """Run the planned kernel backend and record the per-multiply
-        ledger.
+        """Run the plan through its execution backend and record the
+        per-multiply ledger.
 
-        Dispatch goes through the pipeline registry's
-        :class:`~repro.pipeline.registry.KernelBackend` components, so a
-        newly registered kernel is executable here with no engine edit;
-        every backend preserves per-row summation order, keeping the
-        bitwise contract.
+        Dispatch goes through :func:`repro.backends.execute` — the one
+        kernel-execution path, shared with
+        :meth:`~repro.pipeline.spec.BuiltPipeline.execute` — so a newly
+        registered kernel or backend is executable here with no engine
+        edit.
         """
         t0 = time.perf_counter()
         k_info = get_component("kernel", plan.kernel)
@@ -411,7 +470,16 @@ class SpGEMMEngine:
         ]
         if any(p.name == "accumulator" for p in k_info.params):
             given.append(("accumulator", plan.accumulator))
-        C = k_info.factory(prep, Bx, **k_info.resolve_params(given, self.cfg))
+        C = backend_execute(
+            prep,
+            Bx,
+            kernel=plan.kernel,
+            kernel_params=k_info.resolve_params(given, self.cfg),
+            backend=plan.backend,
+            backend_params=plan.backend_params,
+            cfg=self.cfg,
+            ctx=self._exec_ctx,
+        )
         if prep.inv is not None:
             C = C.permute_rows(prep.inv)
         self._stats.execute_seconds += time.perf_counter() - t0
@@ -428,6 +496,7 @@ class SpGEMMEngine:
         *,
         workload: str | None = None,
         pipeline: "PipelineSpec | str | None" = None,
+        backend: str | None = None,
     ) -> list[CSRMatrix]:
         """Batch API: ``[A @ B for B in Bs]`` with one shared plan.
 
@@ -442,7 +511,7 @@ class SpGEMMEngine:
         if not Bs:
             return []
         wl = workload or self._infer_workload(A, Bs[0])
-        plan = self._plan_for(A, Bs[0], workload=wl, pipeline=pipeline)
+        plan = self._plan_for(A, Bs[0], workload=wl, pipeline=pipeline, backend=backend)
         prep = self.prepare(A, plan)
         out = []
         for i, B in enumerate(Bs):
@@ -484,10 +553,12 @@ class SpGEMMEngine:
         """Snapshot of the cumulative engine accounting."""
         snap = replace(self._stats)
         snap.per_plan = dict(self._stats.per_plan)
+        snap.backend_events = dict(self._exec_ctx.stats)
         return snap
 
     def reset_stats(self) -> None:
         self._stats = EngineStats()
+        self._exec_ctx = ExecutionContext(cfg=self.cfg)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

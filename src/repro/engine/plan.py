@@ -27,8 +27,24 @@ import json
 import math
 import warnings
 from dataclasses import asdict, dataclass, replace
+from typing import Any
 
-__all__ = ["ExecutionPlan", "CLUSTERINGS", "KERNELS"]
+__all__ = ["ExecutionPlan", "CLUSTERINGS", "KERNELS", "backend_label_suffix"]
+
+
+def backend_label_suffix(backend: str, backend_params: tuple = ()) -> str:
+    """``"@sharded:workers=2,inner=scipy"``-style label suffix.
+
+    Parameters are included so distinct configurations of the same
+    backend stay distinct in ledgers; the default ``reference`` backend
+    contributes nothing (labels predating the backend axis are stable).
+    """
+    if backend == "reference":
+        return ""
+    suffix = f"@{backend}"
+    if backend_params:
+        suffix += ":" + ",".join(f"{k}={v}" for k, v in backend_params)
+    return suffix
 
 _ACCUMULATORS = ("sort", "dense", "hash")
 
@@ -71,6 +87,14 @@ class ExecutionPlan:
     kernel:
         ``"rowwise"`` (Gustavson) or ``"cluster"`` (paper Alg. 1);
         ``"cluster"`` requires a clustering.
+    backend:
+        Execution backend registry name (:mod:`repro.backends`);
+        ``"reference"`` is the pure-python bitwise oracle.  The backend
+        must support the plan's kernel (validated instance-level, so
+        composite backends answer from their inner backend).
+    backend_params:
+        Backend parameters as ``(name, value)`` pairs (e.g.
+        ``(("workers", 4), ("inner", "scipy"))`` for ``sharded``).
     accumulator:
         Sparse-accumulator strategy for the row-wise kernel.
     policy:
@@ -91,6 +115,8 @@ class ExecutionPlan:
     reordering: str
     clustering: str | None
     kernel: str
+    backend: str = "reference"
+    backend_params: tuple[tuple[str, Any], ...] = ()
     accumulator: str = "sort"
     policy: str = "heuristic"
     workload: str = "asquare"
@@ -126,6 +152,13 @@ class ExecutionPlan:
             raise ValueError(f"unknown accumulator {self.accumulator!r}")
         if kernel.requires_clustering and self.clustering is None:
             raise ValueError(f"{self.kernel} kernel requires a clustering scheme")
+        try:
+            get_component("backend", self.backend)
+        except KeyError as e:
+            raise ValueError(f"unknown backend {self.backend!r} ({e})") from None
+        from ..backends import require_backend_supports
+
+        require_backend_supports(self.backend, self.backend_params, self.kernel)
 
     # ------------------------------------------------------------------
     # Cost / amortisation accounting
@@ -169,7 +202,10 @@ class ExecutionPlan:
     def label(self) -> str:
         """Short human-readable configuration name."""
         cl = self.clustering or "csr"
-        return f"{self.reordering}+{cl}/{self.kernel}"
+        return (
+            f"{self.reordering}+{cl}/{self.kernel}"
+            f"{backend_label_suffix(self.backend, self.backend_params)}"
+        )
 
     def pipeline(self):
         """The :class:`~repro.pipeline.spec.PipelineSpec` this plan
@@ -201,12 +237,15 @@ class ExecutionPlan:
     def to_dict(self) -> dict:
         d = asdict(self)
         d["params"] = [list(p) for p in self.params]
+        d["backend_params"] = [list(p) for p in self.backend_params]
         return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "ExecutionPlan":
         d = dict(d)
         d["params"] = tuple((str(k), v) for k, v in d.get("params", ()))
+        # Plans persisted before the backend axis load as reference.
+        d["backend_params"] = tuple((str(k), v) for k, v in d.get("backend_params", ()))
         return cls(**d)
 
     def to_json(self) -> str:

@@ -3,9 +3,18 @@
 A planner turns ``(A, B, fingerprint, workload)`` into an
 :class:`~repro.engine.plan.ExecutionPlan`.  The candidate space is
 enumerated from :mod:`repro.pipeline` registry capability queries
-(:func:`planner_reorderings`, :func:`default_candidates`) — registering
-a component with the right tags makes it planned, with no lists to keep
-in sync here.  Three search policies are provided, mirroring the
+(:func:`planner_reorderings`, :func:`planner_backends`,
+:func:`default_candidates`) — registering a component with the right
+tags makes it planned, with no lists to keep in sync here.
+
+The space has an execution-*backend* axis (:mod:`repro.backends`), off
+by default: planners search ``reference`` only — preserving the
+engine's bitwise contract — unless constructed with ``backend="auto"``
+(enumerate every planner-ranked backend, ranked by each backend's
+``model_speed_factor`` capability hint; ``reference`` wins ties) or a
+pinned backend (every candidate targets it).  ``reference`` remains the
+correctness oracle either way: plans are validated against it and
+non-bitwise backends guarantee pattern-identical ``allclose`` results.  Three search policies are provided, mirroring the
 escalation the paper's §5 future work sketches, plus a fixed-spec one:
 
 * :class:`HeuristicPlanner` (``"heuristic"``) — ranks a candidate space
@@ -38,7 +47,7 @@ capturing the cross-row ``B``-reuse locality that reordering buys
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from functools import lru_cache
 
 import numpy as np
@@ -69,6 +78,8 @@ __all__ = [
     "make_planner",
     "default_candidates",
     "planner_reorderings",
+    "planner_backends",
+    "replace_candidate",
     "prepare_candidate",
     "default_training_corpus",
 ]
@@ -123,19 +134,39 @@ def __getattr__(name: str):
 
 @dataclass(frozen=True)
 class Candidate:
-    """One point of the (reordering, clustering, kernel) search space."""
+    """One point of the (reordering, clustering, kernel, backend) space."""
 
     reordering: str
     clustering: str | None
     kernel: str
+    backend: str = "reference"
+    backend_params: tuple[tuple[str, float], ...] = ()
 
     @property
     def label(self) -> str:
-        return f"{self.reordering}+{self.clustering or 'csr'}/{self.kernel}"
+        from .plan import backend_label_suffix
+
+        suffix = backend_label_suffix(self.backend, self.backend_params)
+        return f"{self.reordering}+{self.clustering or 'csr'}/{self.kernel}{suffix}"
+
+
+def planner_backends() -> tuple[str, ...]:
+    """Backends the planners may consider, by registry query.
+
+    Every backend registered with a ``planner_rank`` participates (in
+    rank order, ``reference`` first).  The default planner *mode* still
+    restricts the space to ``reference`` — see :class:`Planner` — so
+    this set only enters the search when the caller opts in with
+    ``backend="auto"``.
+    """
+    return tuple(c.name for c in components("backend", planned=True))
 
 
 def default_candidates(
-    *, square: bool, reorderings: tuple[str, ...] | None = None
+    *,
+    square: bool,
+    reorderings: tuple[str, ...] | None = None,
+    backends: tuple[str, ...] | None = None,
 ) -> list[Candidate]:
     """The candidate space planners search, enumerated from the registry.
 
@@ -144,6 +175,12 @@ def default_candidates(
     the natural order.  Clusterings tagged ``embeds_reordering``
     (hierarchical, paper §3.4) are paired only with the natural order —
     their cluster formation *is* a reordering.
+
+    ``backends`` extends the space along the execution-backend axis:
+    each base candidate is additionally emitted per listed non-reference
+    backend that supports its kernel.  ``None`` (the default) keeps the
+    historical reference-only space, preserving the engine's bitwise
+    contract unless the caller opts in.
     """
     if reorderings is None:
         reorderings = planner_reorderings()
@@ -156,7 +193,23 @@ def default_candidates(
             cands.extend(
                 Candidate(r, c.name, "cluster") for c in clusterings if not c.embeds_reordering
             )
+    if backends:
+        from ..backends import backend_supports
+
+        extra = [
+            replace_candidate(c, b)
+            for b in backends
+            if b != "reference"
+            for c in cands
+            if backend_supports(b, (), c.kernel)
+        ]
+        cands += extra
     return cands
+
+
+def replace_candidate(cand: Candidate, backend: str, params: tuple = ()) -> Candidate:
+    """Copy of ``cand`` re-targeted at another execution backend."""
+    return _dc_replace(cand, backend=backend, backend_params=params)
 
 
 # ----------------------------------------------------------------------
@@ -327,6 +380,9 @@ def _estimate_candidate_costs(
                 + cost.stream_byte * (padded * 8 + nnz_a * 4)
                 + cost.gamma_brow * visits
             )
+        # Backend axis: same dataflow, faster implementation (a ranking
+        # hint, not a measurement; 1.0 for reference).
+        t *= get_component("backend", cand.backend).model_speed_factor
         out.append(float(t))
     return out
 
@@ -346,6 +402,7 @@ class Planner:
         machine: SimulatedMachine | None = None,
         seed: int = 0,
         reorderings: tuple[str, ...] | None = None,
+        backend: "str | tuple | None" = None,
     ) -> None:
         from ..experiments.runner import machine_for  # local: avoid import cycle at module load
 
@@ -353,12 +410,35 @@ class Planner:
         self.machine = machine or machine_for(self.cfg)
         self.seed = int(seed)
         self.reorderings = planner_reorderings() if reorderings is None else tuple(reorderings)
+        # Backend mode (DESIGN.md §10): None → reference only (the
+        # bitwise default), "auto" → enumerate every planner-ranked
+        # backend, anything else → pin that backend for every candidate.
+        if backend is None or backend == "reference":
+            self._backend_mode, self._pinned = "reference", ("reference", ())
+        elif backend == "auto":
+            self._backend_mode, self._pinned = "auto", ("reference", ())
+        else:
+            from ..backends import parse_backend
+
+            self._backend_mode, self._pinned = "pinned", parse_backend(backend)
         self._winner_prep: PreparedOperand | None = None  # see take_prepared()
+
+    @property
+    def backend_token(self) -> str:
+        """Cache-key component naming the backend search setting, so a
+        plan tuned under one backend policy is never served to another
+        (e.g. a ``scipy`` plan to a reference-only engine)."""
+        if self._backend_mode == "auto":
+            return "auto"
+        name, params = self._pinned
+        if not params:
+            return name
+        return name + ":" + ",".join(f"{k}={v}" for k, v in params)
 
     @property
     def cache_token(self) -> str:
         """Discriminates plan-cache entries across planner settings."""
-        return f"{self.name}:{','.join(self.reorderings)}"
+        return f"{self.name}:{','.join(self.reorderings)}:b={self.backend_token}"
 
     def take_prepared(self) -> PreparedOperand | None:
         """Hand over the winning candidate's materialised operand.
@@ -371,18 +451,48 @@ class Planner:
 
     # -- shared machinery ------------------------------------------------
     def _candidates(self, A: CSRMatrix) -> list[Candidate]:
-        return default_candidates(square=A.nrows == A.ncols, reorderings=self.reorderings)
+        square = A.nrows == A.ncols
+        if self._backend_mode == "auto":
+            return default_candidates(
+                square=square, reorderings=self.reorderings, backends=planner_backends()
+            )
+        cands = default_candidates(square=square, reorderings=self.reorderings)
+        name, params = self._pinned
+        if name == "reference":
+            return cands
+        # Pinned non-reference backend: every candidate targets it, and
+        # kernels it cannot execute leave the space entirely.
+        from ..backends import backend_supports
+
+        cands = [
+            replace_candidate(c, name, params)
+            for c in cands
+            if backend_supports(name, params, c.kernel)
+        ]
+        if not cands:
+            raise ValueError(
+                f"backend {name!r} supports none of the planner's kernels"
+            )
+        return cands
+
+    def _backend_factor(self, backend: str) -> float:
+        """The backend's relative-speed ranking hint (registry tag)."""
+        return get_component("backend", backend).model_speed_factor
 
     def _measure(self, A: CSRMatrix, B: CSRMatrix, cand: Candidate) -> tuple[float, PreparedOperand]:
         """Materialise ``cand`` and simulate one multiply (model time).
 
-        The ``cluster`` kernel is simulated on the machine model's
-        cluster-wise path; every other kernel runs on the row-wise path
-        over the prepared (possibly cluster-order-composed) operand —
-        for ``tiled`` this is a proxy estimate, since the simulated
-        machine models dataflow through row traversal.
+        Kernels tagged ``requires_clustering`` are simulated on the
+        machine model's cluster-wise path; every other kernel runs on
+        the row-wise path over the prepared (possibly
+        cluster-order-composed) operand — for ``tiled`` this is a proxy
+        estimate, since the simulated machine models dataflow through
+        row traversal.  The simulated time is scaled by the candidate
+        backend's ``model_speed_factor`` ranking hint (1.0 for
+        ``reference``), mirroring that the same dataflow runs faster on
+        a native implementation.
         """
-        cluster_operand = cand.kernel == "cluster"
+        cluster_operand = get_component("kernel", cand.kernel).requires_clustering
         prep = prepare_candidate(
             A,
             cand.reordering,
@@ -396,10 +506,42 @@ class Planner:
             res = self.machine.run_clusterwise(prep.Ac, B)
         else:
             res = self.machine.run_rowwise(prep.Ar, B)
-        return res.time, prep
+        return res.time * self._backend_factor(cand.backend), prep
 
     def _baseline(self, A: CSRMatrix, B: CSRMatrix) -> float:
         return self.machine.run_rowwise(A, B).time
+
+    def _apply_backend(self, cand: Candidate) -> Candidate:
+        """Re-target a policy-chosen candidate along the backend axis.
+
+        Used by policies that pick a candidate outside
+        :meth:`_candidates` (the predictor).  Pinned mode applies the
+        pinned backend (a pin that cannot execute the chosen kernel is a
+        configuration error); ``auto`` mode picks the planner-ranked
+        backend with the best ``model_speed_factor`` that supports the
+        kernel — same dataflow, so the factor alone orders the choices
+        (``reference`` wins ties via its rank).
+        """
+        from ..backends import backend_supports
+
+        if self._backend_mode == "auto":
+            choices = [
+                c
+                for c in components("backend", planned=True)
+                if backend_supports(c.name, (), cand.kernel)
+            ]
+            best = min(choices, key=lambda c: (c.model_speed_factor, c.planner_rank))
+            if best.name != "reference":
+                return replace_candidate(cand, best.name)
+            return cand
+        if self._backend_mode != "pinned":
+            return cand
+        name, params = self._pinned
+        if not backend_supports(name, params, cand.kernel):
+            raise ValueError(
+                f"pinned backend {name!r} does not support the chosen kernel {cand.kernel!r}"
+            )
+        return replace_candidate(cand, name, params)
 
     def _assemble(
         self,
@@ -416,6 +558,8 @@ class Planner:
             reordering=cand.reordering,
             clustering=cand.clustering,
             kernel=cand.kernel,
+            backend=cand.backend,
+            backend_params=cand.backend_params,
             policy=self.name,
             workload=workload,
             fingerprint_key=fp.key,
@@ -474,7 +618,11 @@ class PredictorPlanner(Planner):
 
     A fitted :class:`~repro.analysis.predictor.ConfigurationPredictor`
     can be supplied; otherwise a small built-in corpus of synthetic
-    matrices is swept once (per config) and cached in-process.
+    matrices is swept once (per config) and cached in-process.  The
+    predictor models the (reordering, clustering, kernel) triple only;
+    the backend axis is applied afterwards via
+    :meth:`Planner._apply_backend` (pinned backend, or the best-ranked
+    supporting backend under ``backend="auto"``).
     """
 
     name = "predictor"
@@ -513,7 +661,7 @@ class PredictorPlanner(Planner):
         return Candidate(algo, variant, "cluster")
 
     def _select(self, A, B, fp, baseline):
-        cand = self.choose(A, B, fp)
+        cand = self._apply_backend(self.choose(A, B, fp))
         predicted, prep = self._measure(A, B, cand)
         return cand, predicted, prep, 0.0
 
@@ -541,18 +689,25 @@ class AutotunePlanner(Planner):
         cands = self._candidates(A)
         est = _estimate_candidate_costs(A, B, fp.feature_array(), cands, self.machine.cost, self.cfg)
         order = np.argsort(est, kind="stable")[: self.top_k]
+        # The reference baseline is always a contender (never tune *into*
+        # a slowdown blindly) — its measurement is the baseline
+        # simulation the base class already ran, so it costs no extra
+        # trial.  A *pinned* non-reference backend is the user's explicit
+        # choice, so the reference baseline leaves the contest (the best
+        # measured pinned candidate wins).
         baseline_cand = Candidate("original", None, "rowwise")
-        # The baseline is always a contender (never tune *into* a
-        # slowdown blindly) — its measurement is the baseline simulation
-        # the base class already ran, so it costs no extra trial.
+        baseline_contends = self._backend_mode != "pinned"
         measured = []
         for i in order:
             cand = cands[int(i)]
-            if cand == baseline_cand:
+            if baseline_contends and cand == baseline_cand:
                 continue
             t, prep = self._measure(A, B, cand)
             measured.append((cand, t, prep))
-        best_cand, best_time, best_prep = baseline_cand, baseline, None
+        if baseline_contends:
+            best_cand, best_time, best_prep = baseline_cand, baseline, None
+        else:
+            best_cand, best_time, best_prep = measured[0]
         for cand, t, prep in measured:
             if t < best_time:
                 best_cand, best_time, best_prep = cand, t, prep
@@ -598,8 +753,10 @@ class PipelinePlanner(Planner):
             res = self.machine.run_clusterwise(prep.Ac, B)
         else:
             res = self.machine.run_rowwise(prep.Ar, B)
-        cand = Candidate(spec.reordering, spec.clustering, spec.kernel)
-        return cand, res.time, prep, 0.0
+        cand = Candidate(
+            spec.reordering, spec.clustering, spec.kernel, spec.backend, spec.backend_params
+        )
+        return cand, res.time * self._backend_factor(spec.backend), prep, 0.0
 
     def _assemble(self, cand, prep, fp, workload, *, predicted, baseline, planning):
         # Serialise through the spec so reordering/kernel parameters and

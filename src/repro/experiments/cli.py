@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments.cli all --suite full
     python -m repro.experiments.cli engine --matrix pdb1 --policy autotune --iters 5
     python -m repro.experiments.cli engine --pipeline rcm+fixed:8+cluster
+    python -m repro.experiments.cli engine --pipeline rcm+fixed:8+cluster@scipy
+    python -m repro.experiments.cli engine --backend sharded:workers=2
     python -m repro.experiments.cli pipelines      # registered components
 
 Prints the same paper-style tables the benchmark harness saves under
@@ -151,20 +153,25 @@ def engine_demo(args) -> str:
     amortisation ledger and plan-cache behaviour (the ``engine`` command).
 
     ``--pipeline`` pins an explicit declarative spec (e.g.
-    ``rcm+fixed:8+cluster``) instead of searching with ``--policy``.
+    ``rcm+fixed:8+cluster@scipy``) instead of searching with
+    ``--policy``; ``--backend`` pins (or, with ``auto``, opens up) the
+    execution backend the planner may choose.
     """
     from ..engine import SpGEMMEngine
     from ..matrices import get_matrix
     from ..pipeline import PipelineSpec
 
     A = get_matrix(args.matrix)
+    backend = args.backend or None
     if args.pipeline:
         spec = PipelineSpec.parse(args.pipeline)
-        eng = SpGEMMEngine(pipeline=spec, config=ExperimentConfig())
-        chosen = f"pipeline={spec}"
+        eng = SpGEMMEngine(pipeline=spec, backend=backend, config=ExperimentConfig())
+        chosen = f"pipeline={eng.planner.spec}"
     else:
-        eng = SpGEMMEngine(policy=args.policy, config=ExperimentConfig())
+        eng = SpGEMMEngine(policy=args.policy, backend=backend, config=ExperimentConfig())
         chosen = f"policy={args.policy}"
+        if backend:
+            chosen += f", backend={backend}"
     for _ in range(max(1, args.iters)):
         eng.multiply(A)
     plan = eng.plan_for(A)
@@ -219,8 +226,17 @@ def main(argv: list[str] | None = None) -> int:
         "--pipeline",
         default=None,
         metavar="SPEC",
-        help="explicit pipeline spec for the engine command, e.g. rcm+fixed:8+cluster "
+        help="explicit pipeline spec for the engine command, e.g. rcm+fixed:8+cluster"
+        " or rcm+fixed:8+cluster@scipy "
         "(overrides --policy; see the pipelines command for components)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="BACKEND",
+        help="execution backend for the engine command: a registered backend name "
+        "optionally with parameters (scipy, sharded:workers=2,inner=scipy) or 'auto' "
+        "to let the planner choose (default: reference, the bitwise oracle)",
     )
     args = parser.parse_args(argv)
     targets = list(ARTEFACTS) if args.what == "all" else [args.what]

@@ -1,14 +1,15 @@
 """``repro.pipeline`` — the unified pipeline-spec API.
 
-One registry for reorderings, clusterings and kernels
-(:mod:`repro.pipeline.registry`), and one declarative way to name a
-SpGEMM configuration (:class:`PipelineSpec`)::
+One registry for reorderings, clusterings, kernels and execution
+backends (:mod:`repro.pipeline.registry`), and one declarative way to
+name a SpGEMM configuration (:class:`PipelineSpec`)::
 
     from repro.pipeline import PipelineSpec
 
     spec = PipelineSpec.parse("rcm+hierarchical:max_th=8+cluster")
     assert PipelineSpec.parse(str(spec)) == spec      # round-trippable
     C = spec.run(A)         # bitwise-identical to spgemm_rowwise(A, A)
+    C = PipelineSpec.parse("rcm+fixed:8+cluster@scipy").run(A)  # native backend
 
 The engine's planners enumerate their candidate space from registry
 capability queries, the sweep runner executes specs, and the CLI accepts
@@ -59,6 +60,13 @@ def describe() -> str:
                 tags.append("embeds-reordering")
             if info.requires_clustering:
                 tags.append("requires-clustering")
+            if info.kind == "backend":
+                if info.bitwise_reference:
+                    tags.append("bitwise")
+                if info.parallelism != "serial":
+                    tags.append(info.parallelism)
+                if info.supported_kernels is not None:
+                    tags.append("kernels:" + ",".join(info.supported_kernels))
             if info.planner_rank is not None:
                 tags.append(f"planner#{info.planner_rank}")
             if info.family not in ("", "other"):

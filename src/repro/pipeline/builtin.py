@@ -18,6 +18,12 @@ registries to the unified one.
   product in the *operand's* row order and preserves per-row summation
   order, so any pipeline stays bitwise-identical to the row-wise
   reference after the final inverse gather.
+* **Backends** come from :mod:`repro.backends`
+  (:func:`~repro.backends.register_builtin_backends`): each
+  :class:`~repro.backends.base.ExecutionBackend` class registers as a
+  ``kind="backend"`` component with its capability tags (supported
+  kernels, bitwise flag, parallelism, planner rank), making backends
+  spec-addressable (``…@scipy``) and planner-visible.
 
 Both source registries are re-synced lazily on every registry query, so
 an algorithm registered at runtime is immediately addressable in specs
@@ -170,7 +176,8 @@ def sync_source_registries() -> None:
 
 
 def register_builtin() -> None:
-    """One-time bootstrap: kernels + the current source registries."""
+    """One-time bootstrap: kernels, execution backends + the current
+    source registries."""
     # Importing the packages populates their registries.
     import repro.clustering  # noqa: F401
     import repro.reordering  # noqa: F401
@@ -203,4 +210,8 @@ def register_builtin() -> None:
             description="column-tiled SpGEMM (paper §5 alternative dataflow)",
         )
     )
+    # Execution backends register after the kernels they support.
+    from ..backends import register_builtin_backends
+
+    register_builtin_backends()
     sync_source_registries()

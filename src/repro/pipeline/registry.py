@@ -38,8 +38,9 @@ __all__ = [
     "components",
 ]
 
-#: The three component kinds a pipeline composes.
-KINDS = ("reordering", "clustering", "kernel")
+#: The component kinds a pipeline composes: the paper's (reordering,
+#: clustering, kernel) triple plus the execution backend that runs it.
+KINDS = ("reordering", "clustering", "kernel", "backend")
 
 
 @runtime_checkable
@@ -144,6 +145,24 @@ class ComponentInfo:
         with the natural order.
     requires_clustering:
         Kernel capability: needs a ``CSR_Cluster`` operand.
+    supported_kernels:
+        Backend capability: kernel names the backend can execute, or
+        ``None`` for "every registered kernel" (the declared class-level
+        contract; composite backends like ``sharded`` refine it per
+        instance — see :func:`repro.backends.backend_supports`).
+    bitwise_reference:
+        Backend capability: results are bitwise-identical to the
+        ``reference`` backend (per-row floating-point summation order
+        preserved).  Non-bitwise backends guarantee the identical
+        sparsity pattern and ``allclose`` values only.
+    parallelism:
+        Backend capability: ``"serial"`` or ``"process"`` (executes
+        shards in worker processes).
+    model_speed_factor:
+        Backend capability: multiplier applied to simulated-machine
+        times when planners rank this backend.  A *ranking hint* for
+        relative implementation speed (native scipy ≪ vectorised numpy
+        < pure python), not a measurement; ``reference`` is 1.0.
     similarity_driven:
         Clustering capability: groups rows by measured pattern
         similarity (variable/hierarchical) rather than blind position
@@ -167,6 +186,10 @@ class ComponentInfo:
     family: str = "other"
     embeds_reordering: bool = False
     requires_clustering: bool = False
+    supported_kernels: tuple[str, ...] | None = None
+    bitwise_reference: bool = False
+    parallelism: str = "serial"
+    model_speed_factor: float = 1.0
     similarity_driven: bool = False
     planner_rank: int | None = None
     pre_cost_kind: str = "kernel"
@@ -211,6 +234,45 @@ class ComponentInfo:
                 f"{self.kind} {self.name!r} takes at most {len(self.params)} parameters, got {len(values)}"
             )
         return [(p.name, v) for p, v in zip(self.params, values)]
+
+    def parse_params_text(self, ptext: str) -> list[tuple[str, Any]]:
+        """Parse a spec-string parameter list (``"8"`` / ``"k=v,k2=v2"``).
+
+        Bare values bind positionally in schema order; named values may
+        use aliases.  Values are *not* coerced here — canonicalisation
+        happens in :meth:`canonical_params` so error messages are
+        uniform however parameters arrive.
+        """
+        if not ptext.strip():
+            return []
+        named: list[tuple[str, Any]] = []
+        positional: list[str] = []
+        for token in ptext.split(","):
+            token = token.strip()
+            if not token:
+                raise ValueError(f"empty parameter in {self.kind} {self.name!r} spec")
+            key, eq, value = token.partition("=")
+            if eq:
+                named.append((key.strip(), value.strip()))
+            else:
+                if named:
+                    raise ValueError(
+                        f"{self.kind} {self.name!r}: positional value {token!r} after named parameters"
+                    )
+                positional.append(token)
+        return self.bind_positional(positional) + named
+
+    def supports_kernel(self, kernel: str) -> bool:
+        """Backend capability check: can this backend run ``kernel``?
+
+        ``supported_kernels=None`` means every registered kernel.  Only
+        meaningful for ``kind == "backend"`` entries (always ``True``
+        otherwise); composite backends are refined per instance by
+        :func:`repro.backends.backend_supports`.
+        """
+        if self.kind != "backend" or self.supported_kernels is None:
+            return True
+        return kernel in self.supported_kernels
 
     def resolve_params(self, given: Iterable[tuple[str, Any]], cfg: Any = None) -> dict[str, Any]:
         """Full parameter dict for a build: spec values, then config

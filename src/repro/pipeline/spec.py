@@ -1,10 +1,10 @@
 """Declarative pipeline specifications with a round-trippable string form.
 
 A :class:`PipelineSpec` names one point of the (reordering, clustering,
-kernel) configuration space the paper studies, validated against the
-component registry at construction.  The string grammar::
+kernel, backend) configuration space the paper studies, validated
+against the component registry at construction.  The string grammar::
 
-    spec     := segment ('+' segment)*
+    spec     := segment ('+' segment)* ['@' segment]
     segment  := name [':' params]
     params   := param (',' param)*
     param    := [key '='] value          # bare values bind positionally
@@ -13,10 +13,14 @@ Segments may appear in any order and any kind may be omitted — names
 identify their kind via the registry, whose namespaces are disjoint.
 Missing parts default to ``original`` / no clustering / ``rowwise``
 (``cluster`` when a clustering is present).  ``none`` (or ``csr``) names
-the empty clustering explicitly.  Examples::
+the empty clustering explicitly.  The ``@`` suffix selects the
+*execution backend* (:mod:`repro.backends`; default ``reference``, which
+is omitted from the canonical string form).  Examples::
 
     rcm+hierarchical:max_th=8+cluster     # ISSUE acceptance spec
     rcm+fixed:8+cluster                   # positional param (cluster_size)
+    rcm+fixed:8+cluster@scipy             # same pipeline, scipy backend
+    fixed:8+cluster@sharded:workers=4,inner=vectorized
     original+none+rowwise                 # the baseline, fully spelled
     rabbit+tiled:tile_cols=128            # reordered tiled SpGEMM
 
@@ -24,10 +28,14 @@ the empty clustering explicitly.  Examples::
 alias-resolved, type-coerced and stored in schema order at construction.
 
 ``spec.build(A)`` materialises the pipeline (reorder → cluster →
-operand formats) and ``spec.run(A, B)`` executes it, returning a product
-**bitwise-identical** to ``spgemm_rowwise(A, B)``: permutations gather
-whole rows and every kernel backend preserves per-row summation order,
-so only row placement changes — and is inverted at the end.
+operand formats) and ``spec.run(A, B)`` executes it through the spec's
+backend.  Under a backend whose registry entry claims
+``bitwise_reference`` (``reference``, ``vectorized``, ``sharded`` over a
+bitwise inner) the product is **bitwise-identical** to
+``spgemm_rowwise(A, B)``: permutations gather whole rows and the
+execution preserves per-row summation order, so only row placement
+changes — and is inverted at the end.  Non-bitwise backends (``scipy``)
+return the identical sparsity pattern with ``allclose`` values.
 """
 
 from __future__ import annotations
@@ -83,9 +91,11 @@ class PipelineSpec:
     reordering: str = "original"
     clustering: str | None = None
     kernel: str = "rowwise"
+    backend: str = "reference"
     reordering_params: tuple[tuple[str, Any], ...] = ()
     clustering_params: tuple[tuple[str, Any], ...] = ()
     kernel_params: tuple[tuple[str, Any], ...] = ()
+    backend_params: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -99,11 +109,18 @@ class PipelineSpec:
                 self, "clustering_params", _canon("clustering", self.clustering, self.clustering_params)
             )
         object.__setattr__(self, "kernel_params", _canon("kernel", self.kernel, self.kernel_params))
+        object.__setattr__(self, "backend_params", _canon("backend", self.backend, self.backend_params))
         if self.kernel_info.requires_clustering and self.clustering is None:
             raise ValueError(
                 f"kernel {self.kernel!r} requires a clustering; "
                 f"available: {[c.name for c in components('clustering')]}"
             )
+        # Backend–kernel compatibility is instance-level (composite
+        # backends answer from their inner backend), so ask the backend
+        # layer rather than the static registry entry.
+        from ..backends import require_backend_supports
+
+        require_backend_supports(self.backend, self.backend_params, self.kernel)
 
     # ------------------------------------------------------------------
     # Registry access
@@ -121,6 +138,18 @@ class PipelineSpec:
         return get_component("kernel", self.kernel)
 
     @property
+    def backend_info(self) -> ComponentInfo:
+        return get_component("backend", self.backend)
+
+    @property
+    def bitwise(self) -> bool:
+        """Whether this spec's backend guarantees bitwise identity with
+        row-wise SpGEMM (instance-level: ``sharded`` asks its inner)."""
+        from ..backends import get_backend
+
+        return get_backend(self.backend, self.backend_params).bitwise_reference
+
+    @property
     def square_only(self) -> bool:
         """Whether the pipeline needs a square left operand."""
         return self.reordering_info.square_only
@@ -130,18 +159,26 @@ class PipelineSpec:
     # ------------------------------------------------------------------
     def __str__(self) -> str:
         mid = "none" if self.clustering is None else _segment(self.clustering, self.clustering_params)
-        return "+".join(
+        text = "+".join(
             [
                 _segment(self.reordering, self.reordering_params),
                 mid,
                 _segment(self.kernel, self.kernel_params),
             ]
         )
+        # The default backend is omitted so pre-backend spec strings stay
+        # canonical; `reference` takes no parameters by construction.
+        if self.backend != "reference":
+            text += "@" + _segment(self.backend, self.backend_params)
+        return text
 
     @property
     def label(self) -> str:
         """Engine-style short label (matches ``ExecutionPlan.label``)."""
-        return f"{self.reordering}+{self.clustering or 'csr'}/{self.kernel}"
+        from ..engine.plan import backend_label_suffix
+
+        suffix = backend_label_suffix(self.backend, self.backend_params)
+        return f"{self.reordering}+{self.clustering or 'csr'}/{self.kernel}{suffix}"
 
     @classmethod
     def parse(cls, text: str) -> "PipelineSpec":
@@ -153,9 +190,23 @@ class PipelineSpec:
         """
         if isinstance(text, PipelineSpec):
             return text
-        segments = [s.strip() for s in str(text).split("+")]
+        core, at, btext = str(text).partition("@")
+        backend, b_params = "reference", []
+        if at:
+            if "@" in btext:
+                raise ValueError(f"pipeline spec {text!r} names two backends (one '@' allowed)")
+            bname, _, bptext = btext.strip().partition(":")
+            if not bname.strip():
+                raise ValueError(f"empty backend after '@' in pipeline spec {text!r}")
+            b_info = get_component("backend", bname.strip())  # KeyError lists backends
+            backend = b_info.name
+            b_params = b_info.parse_params_text(bptext)
+        segments = [s.strip() for s in core.split("+")]
         if not any(segments):
-            raise ValueError("empty pipeline spec")
+            if at:  # "@scipy" alone: every pipeline default, pinned backend
+                segments = []
+            else:
+                raise ValueError("empty pipeline spec")
         by_kind: dict[str, tuple[str, list[tuple[str, Any]]]] = {}
         explicit_none = False
         for seg in segments:
@@ -169,6 +220,11 @@ class PipelineSpec:
                 explicit_none = True
                 continue
             info = find_component(name)
+            if info.kind == "backend":
+                raise ValueError(
+                    f"{name!r} is an execution backend; select it with '@{name}', "
+                    f"e.g. 'rcm+fixed:8+cluster@{name}'"
+                )
             if info.kind in by_kind:
                 raise ValueError(
                     f"pipeline spec {text!r} names two {info.kind}s: "
@@ -185,31 +241,16 @@ class PipelineSpec:
             reordering=reordering,
             clustering=clustering,
             kernel=kernel,
+            backend=backend,
             reordering_params=tuple(r_params),
             clustering_params=tuple(c_params),
             kernel_params=tuple(k_params),
+            backend_params=tuple(b_params),
         )
 
     @staticmethod
     def _parse_params(info: ComponentInfo, ptext: str) -> list[tuple[str, Any]]:
-        if not ptext.strip():
-            return []
-        named: list[tuple[str, Any]] = []
-        positional: list[str] = []
-        for token in ptext.split(","):
-            token = token.strip()
-            if not token:
-                raise ValueError(f"empty parameter in {info.kind} {info.name!r} spec")
-            key, eq, value = token.partition("=")
-            if eq:
-                named.append((key.strip(), value.strip()))
-            else:
-                if named:
-                    raise ValueError(
-                        f"{info.kind} {info.name!r}: positional value {token!r} after named parameters"
-                    )
-                positional.append(token)
-        return info.bind_positional(positional) + named
+        return info.parse_params_text(ptext)
 
     # ------------------------------------------------------------------
     # Derivation helpers
@@ -240,6 +281,19 @@ class PipelineSpec:
 
     def with_kernel(self, name: str, **params: Any) -> "PipelineSpec":
         return replace(self, kernel=name, kernel_params=tuple(params.items()))
+
+    def with_backend(self, name: str, **params: Any) -> "PipelineSpec":
+        """Copy with a different execution backend.
+
+        ``name`` may carry spec-style parameters
+        (``"sharded:workers=4"``) when no keyword parameters are given.
+        """
+        if ":" in name and not params:
+            from ..backends import parse_backend
+
+            name, parsed = parse_backend(name)
+            return replace(self, backend=name, backend_params=parsed)
+        return replace(self, backend=name, backend_params=tuple(params.items()))
 
     # ------------------------------------------------------------------
     # Build & run
@@ -349,8 +403,10 @@ class PipelineSpec:
         """Execute the pipeline: ``A @ B`` (``A²`` when ``B`` is omitted).
 
         Builds in ``rows`` mode and inverts the row gather at the end,
-        so the result is bitwise-identical to
-        ``spgemm_rowwise(A, B)`` for every valid spec.
+        so the result is bitwise-identical to ``spgemm_rowwise(A, B)``
+        for every spec whose backend claims :attr:`bitwise` (the
+        default ``reference`` always does); other backends return the
+        identical sparsity pattern with ``allclose`` values.
         """
         built = self.build(A, seed=seed, mode="rows", cfg=cfg)
         return built.execute(A if B is None else B, cfg=cfg)
@@ -380,6 +436,8 @@ class PipelineSpec:
             reordering=self.reordering,
             clustering=self.clustering,
             kernel=self.kernel,
+            backend=self.backend,
+            backend_params=self.backend_params,
             params=tuple(params),
             **overrides,
         )
@@ -402,9 +460,11 @@ class PipelineSpec:
             reordering=plan.reordering,
             clustering=plan.clustering,
             kernel=plan.kernel,
+            backend=plan.backend,
             reordering_params=tuple(r_params),
             clustering_params=tuple(c_params),
             kernel_params=tuple(k_params),
+            backend_params=plan.backend_params,
         )
 
 
@@ -446,38 +506,70 @@ class BuiltPipeline:
             t += cost.preprocessing_time(self.cluster_work, kind=self.spec.clustering_info.pre_cost_kind)
         return t
 
-    def execute(self, B, *, cfg: Any = None):
-        """Run the spec's kernel backend and restore the original row
-        order (bitwise-identical to row-wise SpGEMM in ``rows`` mode)."""
-        k_info = self.spec.kernel_info
+    def execute(self, B, *, cfg: Any = None, ctx: Any = None):
+        """Run the spec's kernel through its execution backend and
+        restore the original row order (bitwise-identical to row-wise
+        SpGEMM in ``rows`` mode under a bitwise backend).
+
+        Dispatch goes through :func:`repro.backends.execute` — the one
+        kernel-execution path shared with the engine.  ``ctx`` is an
+        optional :class:`~repro.backends.base.ExecutionContext` for
+        callers that accumulate backend statistics.
+        """
+        from ..backends import execute as backend_execute
+
+        spec = self.spec
         if cfg is None:
             cfg = self.cfg
-        C = k_info.factory(self, B, **k_info.resolve_params(self.spec.kernel_params, cfg))
+        C = backend_execute(
+            self,
+            B,
+            kernel=spec.kernel,
+            kernel_params=spec.kernel_info.resolve_params(spec.kernel_params, cfg),
+            backend=spec.backend,
+            backend_params=spec.backend_params,
+            cfg=cfg,
+            ctx=ctx,
+        )
         if self.inv is not None:
             C = C.permute_rows(self.inv)
         return C
 
 
 def enumerate_compatible(
-    *, square: bool = True, reorderings: Iterable[str] | None = None
+    *,
+    square: bool = True,
+    reorderings: Iterable[str] | None = None,
+    backends: Iterable[str] | None = None,
 ) -> list[PipelineSpec]:
-    """Every (reordering, clustering, kernel) triple the registry calls
-    compatible, as default-parameter specs.
+    """Every (reordering, clustering, kernel[, backend]) composition the
+    registry calls compatible, as default-parameter specs.
 
     Compatibility rules (all registry-tag driven): square-only
-    reorderings are dropped for rectangular operands, and kernels that
-    require a clustering pair only with actual clusterings.
+    reorderings are dropped for rectangular operands, kernels that
+    require a clustering pair only with actual clusterings, and — when
+    ``backends`` is given (``None`` keeps the historical
+    reference-only enumeration) — each triple is emitted once per
+    backend that supports its kernel.
     """
+    from ..backends import backend_supports
+
     r_names = [
         c.name
         for c in components("reordering", square_ok=None if square else False)
         if reorderings is None or c.name in set(reorderings)
     ]
+    b_names = ["reference"] if backends is None else list(backends)
     out: list[PipelineSpec] = []
     for r in r_names:
         for c in [None, *(ci.name for ci in components("clustering"))]:
             for k in components("kernel"):
                 if k.requires_clustering and c is None:
                     continue
-                out.append(PipelineSpec(reordering=r, clustering=c, kernel=k.name))
+                for b in b_names:
+                    if not backend_supports(b, (), k.name):
+                        continue
+                    out.append(
+                        PipelineSpec(reordering=r, clustering=c, kernel=k.name, backend=b)
+                    )
     return out

@@ -26,10 +26,9 @@ from __future__ import annotations
 
 import json
 import math
-import time
 from pathlib import Path
 
-from repro.backends import ExecutionContext, execute, get_backend, parse_backend
+from repro.backends import get_backend, parse_backend, time_execution
 from repro.matrices import generators as G
 from repro.pipeline import PipelineSpec, available_components
 
@@ -56,21 +55,9 @@ CASES = [
 
 
 def _time_execute(built, B, backend_ref: str, reps: int = 3) -> float:
-    """Best-of-``reps`` wall-clock seconds for one backend execution."""
-    name, params = parse_backend(backend_ref)
-    spec = built.spec
-    kernel_params = spec.kernel_info.resolve_params(spec.kernel_params, None)
-    ctx = ExecutionContext()
-    # Warm the pool / import path once so timings measure steady state.
-    execute(built, B, kernel=spec.kernel, kernel_params=kernel_params,
-            backend=name, backend_params=params, ctx=ctx)
-    best = math.inf
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        execute(built, B, kernel=spec.kernel, kernel_params=kernel_params,
-                backend=name, backend_params=params, ctx=ctx)
-        best = min(best, time.perf_counter() - t0)
-    return best
+    """Best-of-``reps`` wall-clock seconds for one backend execution
+    (the shared :func:`repro.backends.time_execution` primitive)."""
+    return time_execution(built, B, backend_ref, reps=reps)
 
 
 def run_bench() -> dict:

@@ -45,6 +45,7 @@ __all__ = [
     "backend_supports",
     "require_backend_supports",
     "execute",
+    "time_execution",
 ]
 
 #: Built-in backend classes, in planner-preference order.  ``scipy`` is
@@ -187,3 +188,34 @@ def execute(
     if ctx is None:
         ctx = ExecutionContext(cfg=cfg)
     return be.execute(operand, B, kernel=kernel, kernel_params=dict(kernel_params or {}), ctx=ctx)
+
+
+def time_execution(built, B, backend_ref: "str | tuple", *, reps: int = 3) -> float:
+    """Best-of-``reps`` wall-clock seconds executing a built pipeline.
+
+    The shared micro-benchmark primitive behind
+    :class:`~repro.engine.adaptive.BackendCalibrator` and the backend
+    benches: ``built`` is a :class:`~repro.pipeline.spec.BuiltPipeline`
+    (preparation is the amortised one-off the engine ledgers separately,
+    so only execution is timed), and one warm-up execution runs first so
+    imports / process pools never pollute a timing.
+    """
+    import time as _time
+
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    name, params = parse_backend(backend_ref)
+    spec = built.spec
+    kernel_params = spec.kernel_info.resolve_params(spec.kernel_params, None)
+    ctx = ExecutionContext()
+    execute(built, B, kernel=spec.kernel, kernel_params=kernel_params,
+            backend=name, backend_params=params, ctx=ctx)
+    import math as _math
+
+    best = _math.inf
+    for _ in range(reps):
+        t0 = _time.perf_counter()
+        execute(built, B, kernel=spec.kernel, kernel_params=kernel_params,
+                backend=name, backend_params=params, ctx=ctx)
+        best = min(best, _time.perf_counter() - t0)
+    return best

@@ -10,8 +10,16 @@ investment breaks even (paper Fig. 10 / Table 4, §5 future work).  See
 DESIGN.md §6 and §10.
 """
 
+from .adaptive import (
+    AdaptiveConfig,
+    BackendCalibrator,
+    CalibrationTable,
+    DriftDecision,
+    DriftMonitor,
+    calibration_path,
+)
 from .engine import EngineStats, SpGEMMEngine
-from .fingerprint import MatrixFingerprint, fingerprint, value_digest
+from .fingerprint import MatrixFingerprint, feature_distance, fingerprint, value_digest
 from .plan import ExecutionPlan
 from .plan_cache import PlanCache, plan_cache_dir
 from .planner import (
@@ -36,9 +44,16 @@ __all__ = [
     "ExecutionPlan",
     "PlanCache",
     "plan_cache_dir",
+    "AdaptiveConfig",
+    "DriftDecision",
+    "DriftMonitor",
+    "CalibrationTable",
+    "BackendCalibrator",
+    "calibration_path",
     "MatrixFingerprint",
     "fingerprint",
     "value_digest",
+    "feature_distance",
     "Planner",
     "HeuristicPlanner",
     "PredictorPlanner",

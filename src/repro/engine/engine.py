@@ -38,6 +38,7 @@ from ..core.csr import CSRMatrix
 from ..experiments.config import ExperimentConfig
 from ..machine import SimulatedMachine
 from ..pipeline import PipelineSpec, get_component
+from .adaptive import AdaptiveConfig, BackendCalibrator, CalibrationTable, DriftMonitor
 from .fingerprint import MatrixFingerprint, fingerprint, pattern_digest, value_digest
 from .plan import ExecutionPlan
 from .plan_cache import PlanCache
@@ -71,8 +72,18 @@ class EngineStats:
     model_pre_cost: float = 0.0
     model_executed_cost: float = 0.0
     model_baseline_cost: float = 0.0
+    drift_probes: int = 0  # executed-cost measurements taken
+    drift_detected: int = 0  # probes outside the drift band
+    replans: int = 0  # drift-triggered plan rebuilds
+    warm_starts: int = 0  # cold lookups seeded from a cached neighbour
+    # Model units spent *measuring* executed cost.  Deliberately outside
+    # invested_cost: a real runtime reads executed cost off a timer for
+    # free — the simulation stand-in must not distort the paper-facing
+    # break-even economics (re-planning itself IS charged).
+    model_probe_cost: float = 0.0
     per_plan: dict = field(default_factory=dict)  # plan label → multiply count
     backend_events: dict = field(default_factory=dict)  # ExecutionContext counters
+    replan_log: list = field(default_factory=list)  # drift re-plan events (dicts)
 
     # ------------------------------------------------------------------
     @property
@@ -130,6 +141,13 @@ class EngineStats:
             f"model gain to date  : {self.cumulative_gain:,.0f} units (speedup {self.speedup_to_date:.2f}x)",
             f"break-even at       : {be_s} multiplies (progress {self.amortization_progress():.2f})",
         ]
+        if self.drift_probes:
+            lines.append(
+                f"drift probes        : {self.drift_probes} "
+                f"({self.drift_detected} drifting, {self.replans} re-plans)"
+            )
+        if self.warm_starts:
+            lines.append(f"warm starts         : {self.warm_starts}")
         for label, n in sorted(self.per_plan.items()):
             lines.append(f"  plan {label}: {n} multiplies")
         for key, n in sorted(self.backend_events.items()):
@@ -181,6 +199,36 @@ class SpGEMMEngine:
         backend.  Individual calls can override via
         ``multiply(..., backend=...)``; with ``pipeline=``, the
         backend override is applied onto the spec.
+    calibration:
+        Measured backend speed factors replacing the static
+        ``model_speed_factor`` ranking hints (DESIGN.md §11): a
+        :class:`~repro.engine.adaptive.CalibrationTable`, a
+        :class:`~repro.engine.adaptive.BackendCalibrator` (calibrated
+        and persisted on the spot), or ``True`` to load the table
+        persisted next to the plan cache (silently absent → static
+        hints).  ``None`` (default) keeps the static hints.
+    drift_threshold:
+        Enables drift-triggered re-planning: after each
+        :meth:`multiply`, the executed model cost of the plan on the
+        *actual* operands is probed and compared against
+        ``plan.predicted_cost``; when the ratio repeatedly leaves
+        ``[1/threshold, threshold]`` the plan is re-trialled (candidate
+        space *and* backend choice) and the cache entry replaced.
+        ``None`` (default) disables the monitor entirely.
+    adaptive:
+        Full :class:`~repro.engine.adaptive.AdaptiveConfig` (hysteresis
+        patience/cooldown, probe cadence, re-plan cap) when the
+        ``drift_threshold`` shorthand is not enough; a given
+        ``drift_threshold`` overrides the config's threshold.
+    warm_start:
+        Seed cold plan-cache lookups with the nearest cached
+        neighbour's plan (by fingerprint-feature distance) as the first
+        trial candidate.  Consumed by measured-trial policies
+        (``"autotune"``); ranking-only policies skip the lookup.  Off
+        by default — it can change which plan a search policy picks.
+    fingerprint_cache_size:
+        Capacity of the fingerprint memo LRU (feature sketches keyed by
+        pattern digest).
     """
 
     def __init__(
@@ -197,6 +245,11 @@ class SpGEMMEngine:
         operand_cache_size: int = 8,
         pipeline: "PipelineSpec | str | None" = None,
         backend: str | None = None,
+        calibration: "CalibrationTable | BackendCalibrator | bool | None" = None,
+        drift_threshold: float | None = None,
+        adaptive: AdaptiveConfig | None = None,
+        warm_start: bool = False,
+        fingerprint_cache_size: int = 64,
     ) -> None:
         from ..experiments.runner import machine_for
 
@@ -204,10 +257,22 @@ class SpGEMMEngine:
         self.machine = machine or machine_for(self.cfg)
         self.seed = int(seed)
         self.backend = backend
+        self.calibration = self._resolve_calibration(calibration)
+        if drift_threshold is not None:
+            base = adaptive or AdaptiveConfig()
+            adaptive = replace(base, drift_threshold=float(drift_threshold))
+        self._drift: DriftMonitor | None = DriftMonitor(adaptive) if adaptive is not None else None
+        self._warm_start = bool(warm_start)
         if pipeline is not None:
             policy = "pipeline"
             pipeline = self._spec_with_backend(pipeline, backend)
-        kw = dict(cfg=self.cfg, machine=self.machine, seed=self.seed, backend=backend)
+        kw = dict(
+            cfg=self.cfg,
+            machine=self.machine,
+            seed=self.seed,
+            backend=backend,
+            calibration=self.calibration,
+        )
         if policy == "predictor":
             kw["predictor"] = predictor
         elif policy == "autotune":
@@ -223,10 +288,27 @@ class SpGEMMEngine:
         self._operands: "OrderedDict[tuple, PreparedOperand]" = OrderedDict()
         self._operand_cap = max(1, int(operand_cache_size))
         self._fingerprints: "OrderedDict[str, MatrixFingerprint]" = OrderedDict()
+        self._fingerprint_cap = max(1, int(fingerprint_cache_size))
         self._pipeline_planners: dict[str, Planner] = {}
         self._backend_planners: dict[str, Planner] = {}
         self._exec_ctx = ExecutionContext(cfg=self.cfg)
         self._stats = EngineStats()
+
+    @staticmethod
+    def _resolve_calibration(calibration) -> CalibrationTable | None:
+        """Normalise the constructor's ``calibration`` argument."""
+        if calibration is None or calibration is False:
+            return None
+        if calibration is True:
+            return CalibrationTable.load()  # absent/disabled → None (static hints)
+        if isinstance(calibration, BackendCalibrator):
+            return calibration.calibrate_and_save()
+        if isinstance(calibration, CalibrationTable):
+            return calibration
+        raise TypeError(
+            "calibration must be a CalibrationTable, a BackendCalibrator or a bool, "
+            f"got {type(calibration).__name__}"
+        )
 
     # ------------------------------------------------------------------
     # Planning
@@ -241,8 +323,10 @@ class SpGEMMEngine:
         if fp is None:
             fp = fingerprint(A, seed=self.seed, digest=digest)
             self._fingerprints[digest] = fp
-            while len(self._fingerprints) > 64:
+            while len(self._fingerprints) > self._fingerprint_cap:
                 self._fingerprints.popitem(last=False)
+        else:
+            self._fingerprints.move_to_end(digest)
         return fp
 
     def _machine_token(self) -> str:
@@ -286,7 +370,12 @@ class SpGEMMEngine:
             planner = self._pipeline_planners.get(key)
             if planner is None:
                 planner = make_planner(
-                    "pipeline", spec=key, cfg=self.cfg, machine=self.machine, seed=self.seed
+                    "pipeline",
+                    spec=key,
+                    cfg=self.cfg,
+                    machine=self.machine,
+                    seed=self.seed,
+                    calibration=self.calibration,
                 )
                 self._pipeline_planners[key] = planner
             return planner
@@ -297,7 +386,13 @@ class SpGEMMEngine:
             return self._resolve_planner(self.planner.spec, backend)
         planner = self._backend_planners.get(backend)
         if planner is None:
-            kw = dict(cfg=self.cfg, machine=self.machine, seed=self.seed, backend=backend)
+            kw = dict(
+                cfg=self.cfg,
+                machine=self.machine,
+                seed=self.seed,
+                backend=backend,
+                calibration=self.calibration,
+            )
             if self.policy == "autotune":
                 kw["top_k"] = self.planner.top_k
             elif self.policy == "predictor":
@@ -346,13 +441,17 @@ class SpGEMMEngine:
         pipeline: "PipelineSpec | str | None" = None,
         backend: str | None = None,
         count_lookup: bool = True,
+        resolved: "tuple[Planner, MatrixFingerprint, str] | None" = None,
     ) -> ExecutionPlan:
         Bx = A if B is None else B
         workload = workload or self._infer_workload(A, B)
-        planner = self._resolve_planner(pipeline, backend)
         t0 = time.perf_counter()
-        fp = self._fingerprint(A)
-        key = self._plan_key(fp, workload, planner)
+        if resolved is not None:
+            planner, fp, key = resolved
+        else:
+            planner = self._resolve_planner(pipeline, backend)
+            fp = self._fingerprint(A)
+            key = self._plan_key(fp, workload, planner)
         plan = self.plan_cache.get(key)
         if plan is not None:
             if count_lookup:
@@ -360,8 +459,17 @@ class SpGEMMEngine:
         else:
             if count_lookup:
                 self._stats.plan_cache_misses += 1
-            plan = planner.plan(A, Bx, fp, workload)
-            self.plan_cache.put(key, plan)
+            warm = None
+            if self._warm_start and planner.uses_warm_start:
+                near = self.plan_cache.nearest(fp.feature_array(), exclude=key)
+                # Reconcile once; count only hints the planner can
+                # actually apply — a neighbour whose reordering/backend
+                # cannot serve this operand leaves the search fully cold.
+                warm = planner.warm_candidate(near, A)
+                if warm is not None:
+                    self._stats.warm_starts += 1
+            plan = planner.plan(A, Bx, fp, workload, warm_start=warm)
+            self.plan_cache.put(key, plan, features=fp.features)
             self._stats.plans_built += 1
             self._stats.model_planning_cost += plan.planning_cost
             # The planner already materialised the winning operand for
@@ -447,9 +555,18 @@ class SpGEMMEngine:
         Bx = A if B is None else B
         if A.ncols != Bx.nrows:
             raise ValueError(f"inner dimensions differ: {A.shape} x {Bx.shape}")
-        plan = self._plan_for(A, B, workload=workload, pipeline=pipeline, backend=backend)
+        workload = workload or self._infer_workload(A, B)
+        # Resolve (planner, fingerprint, key) once — planning and the
+        # drift probe below share them rather than re-hashing A.
+        planner = self._resolve_planner(pipeline, backend)
+        fp = self._fingerprint(A)
+        key = self._plan_key(fp, workload, planner)
+        plan = self._plan_for(A, B, workload=workload, resolved=(planner, fp, key))
         prep = self.prepare(A, plan)
-        return self._execute(plan, prep, Bx)
+        C = self._execute(plan, prep, Bx)
+        if self._drift is not None:
+            self._observe_drift(A, Bx, plan, prep, workload=workload, planner=planner, fp=fp, key=key)
+        return C
 
     def _execute(self, plan: ExecutionPlan, prep: PreparedOperand, Bx: CSRMatrix) -> CSRMatrix:
         """Run the plan through its execution backend and record the
@@ -489,6 +606,90 @@ class SpGEMMEngine:
         self._stats.per_plan[plan.label] = self._stats.per_plan.get(plan.label, 0) + 1
         return C
 
+    # ------------------------------------------------------------------
+    # Drift-triggered re-planning (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def _measure_executed(self, plan: ExecutionPlan, prep: PreparedOperand, Bx: CSRMatrix) -> float:
+        """The plan's *executed* model cost on the actual operands.
+
+        The same measurement the planner's trials use — a simulated run
+        of the prepared operand against the ``B`` that was really
+        multiplied, scaled by the plan's backend factor — so when
+        nothing changed, executed equals ``plan.predicted_cost`` exactly
+        and drift detection stays silent by construction.
+        """
+        if get_component("kernel", plan.kernel).requires_clustering:
+            t = self.machine.run_clusterwise(prep.Ac, Bx).time
+        else:
+            t = self.machine.run_rowwise(prep.Ar, Bx).time
+        factor = self.planner._backend_factor(plan.backend, kernel=plan.kernel, A=prep.Ar)
+        return t * factor
+
+    def _observe_drift(
+        self, A: CSRMatrix, Bx: CSRMatrix, plan: ExecutionPlan, prep: PreparedOperand,
+        *, workload: str, planner: Planner, fp: MatrixFingerprint, key: str,
+    ) -> None:
+        """Probe the executed cost and re-plan when it has drifted.
+
+        Probes are simulated executions; their model cost is tracked in
+        ``model_probe_cost`` but kept out of the amortisation economics
+        (a real runtime reads executed cost off a timer for free — only
+        fired re-plans are invested cost).  The hysteresis lives in the
+        :class:`~repro.engine.adaptive.DriftMonitor`.  A fired re-plan
+        re-runs the engine's planner — candidate space *including* the
+        backend axis — against the operands actually being multiplied
+        and replaces the cache entry, taking effect from the next call.
+        """
+        monitor = self._drift
+        if not monitor.should_probe(key):
+            return
+        t0 = time.perf_counter()
+        executed = self._measure_executed(plan, prep, Bx)
+        self._stats.drift_probes += 1
+        self._stats.model_probe_cost += executed  # measured, not invested
+        decision = monitor.observe(key, predicted=plan.predicted_cost, executed=executed)
+        if decision.drifted:
+            self._stats.drift_detected += 1
+        if decision.replan:
+            new_plan = planner.plan(A, Bx, fp, workload)
+            self.plan_cache.put(key, new_plan, features=fp.features)
+            monitor.notify_replanned(key)
+            self._stats.replans += 1
+            self._stats.plans_built += 1
+            self._stats.model_planning_cost += new_plan.planning_cost
+            self._stats.replan_log.append(
+                {
+                    "from": plan.label,
+                    "to": new_plan.label,
+                    "predicted": plan.predicted_cost,
+                    "executed": executed,
+                    "workload": workload,
+                    "fingerprint": fp.key,
+                }
+            )
+            new_prep = planner.take_prepared()
+            if new_prep is not None:
+                self._stats.operands_prepared += 1
+                self._stats.model_pre_cost += new_prep.pre_cost
+                self._store_operand(self._operand_key(new_plan, A), new_prep)
+        self._stats.planning_seconds += time.perf_counter() - t0
+
+    def drift_state(self, A: CSRMatrix, *, workload: str = "asquare", backend: str | None = None) -> dict | None:
+        """Monitor snapshot for ``A``'s plan key (``None`` when the
+        engine was built without drift detection).
+
+        ``workload`` must match what the multiplies ran under (the
+        monitor is keyed like the plan cache): an ``A @ B`` sequence
+        with a distinct ``B`` is ``"general"``, not the default
+        ``"asquare"`` — a mismatched key reads as an untouched monitor
+        (all-zero snapshot).
+        """
+        if self._drift is None:
+            return None
+        planner = self._resolve_planner(None, backend)
+        key = self._plan_key(self._fingerprint(A), workload, planner)
+        return self._drift.state(key)
+
     def multiply_many(
         self,
         A: CSRMatrix,
@@ -511,7 +712,10 @@ class SpGEMMEngine:
         if not Bs:
             return []
         wl = workload or self._infer_workload(A, Bs[0])
-        plan = self._plan_for(A, Bs[0], workload=wl, pipeline=pipeline, backend=backend)
+        planner = self._resolve_planner(pipeline, backend)
+        fp = self._fingerprint(A)
+        key = self._plan_key(fp, wl, planner)
+        plan = self._plan_for(A, Bs[0], workload=wl, resolved=(planner, fp, key))
         prep = self.prepare(A, plan)
         out = []
         for i, B in enumerate(Bs):
@@ -521,6 +725,12 @@ class SpGEMMEngine:
                 self._stats.plan_cache_hits += 1
                 self._stats.operands_reused += 1
             out.append(self._execute(plan, prep, B))
+        # One drift probe per batch (the whole batch ran one plan): the
+        # last frontier is the freshest evidence, and a fired re-plan
+        # takes effect for the next batch — the BC/Markov regime where
+        # values evolve while the pattern stays fixed.
+        if self._drift is not None:
+            self._observe_drift(A, Bs[-1], plan, prep, workload=wl, planner=planner, fp=fp, key=key)
         return out
 
     def power(self, A: CSRMatrix, exponent: int) -> CSRMatrix:
@@ -554,6 +764,7 @@ class SpGEMMEngine:
         snap = replace(self._stats)
         snap.per_plan = dict(self._stats.per_plan)
         snap.backend_events = dict(self._exec_ctx.stats)
+        snap.replan_log = list(self._stats.replan_log)
         return snap
 
     def reset_stats(self) -> None:

@@ -110,6 +110,11 @@ class ExecutionPlan:
     params:
         Clustering parameters as a sorted tuple of ``(name, value)``
         pairs (kept as a tuple so the plan stays hashable).
+    calibration_epoch:
+        Epoch of the :class:`~repro.engine.adaptive.CalibrationTable`
+        whose measured backend factors ranked this plan; ``0`` means
+        the static ``model_speed_factor`` hints did (every plan
+        persisted before the adaptive runtime loads as epoch 0).
     """
 
     reordering: str
@@ -127,6 +132,7 @@ class ExecutionPlan:
     baseline_cost: float = math.nan
     pre_cost: float = 0.0
     planning_cost: float = 0.0
+    calibration_epoch: int = 0
 
     def __post_init__(self) -> None:
         # Validation is registry-driven (lazy import: the pipeline layer

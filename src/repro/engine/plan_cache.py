@@ -1,20 +1,42 @@
-"""Plan cache: in-memory LRU with optional on-disk persistence.
+"""Plan cache: cost-aware in-memory cache with optional disk persistence.
 
 Plans are keyed by the operand's structural fingerprint (plus workload,
 policy and config — see :meth:`repro.engine.engine.SpGEMMEngine`), so a
 "same pattern, new values" matrix reuses its plan without re-planning.
+
+Two adaptive-runtime behaviours live here (DESIGN.md §11):
+
+* **Cost-aware eviction** (the default): when over capacity, the
+  *resident* entry that is cheapest to re-plan (smallest
+  ``plan.invested_cost`` = preprocessing + planning trials) is evicted
+  first, least-recently-used breaking ties — an expensive autotuned
+  plan outlives many cheap heuristic ones.  The just-inserted entry is
+  never the victim (rejecting inserts would make the engine re-plan the
+  same pattern forever).  ``eviction="lru"`` restores the pure-LRU
+  policy.
+* **Warm-start neighbours**: each entry may carry the fingerprint
+  *features* of the pattern it was planned for (persisted with the
+  plan), so a cold lookup can ask :meth:`PlanCache.nearest` for the most
+  structurally similar cached plan and hand it to the planner as the
+  first trial candidate.
+
 Persistence writes one JSON file per plan under
 ``<REPRO_CACHE_DIR>/plans`` (default ``.repro_cache/plans``), alongside
 the sweep pickles of :mod:`repro.experiments.cache`, and honours the
-same ``REPRO_NO_CACHE=1`` kill switch.  Corrupt or stale entries are
-reported with :func:`warnings.warn` and treated as misses.
+same ``REPRO_NO_CACHE=1`` kill switch.  Files written before the
+adaptive runtime hold a bare plan dict (no features envelope) and keep
+loading.  Corrupt or stale entries are reported with
+:func:`warnings.warn` and treated as misses.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import math
 import warnings
 from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 
 from .plan import ExecutionPlan
@@ -38,27 +60,46 @@ def plan_cache_dir() -> Path:
     return p
 
 
+@dataclass
+class _Entry:
+    plan: ExecutionPlan
+    features: tuple[float, ...] | None = None
+
+    @property
+    def replan_cost(self) -> float:
+        """Model units it would take to rebuild this plan from scratch."""
+        cost = self.plan.invested_cost
+        return cost if math.isfinite(cost) else 0.0
+
+
 class PlanCache:
-    """LRU cache of :class:`~repro.engine.plan.ExecutionPlan` objects.
+    """Bounded cache of :class:`~repro.engine.plan.ExecutionPlan` objects.
 
     Parameters
     ----------
     capacity:
-        Maximum in-memory entries; least-recently-used plans are
-        evicted first (they stay on disk when persisting).
+        Maximum in-memory entries (evicted plans stay on disk when
+        persisting).
     persist:
         When ``True``, plans are also written to / read from
         :func:`plan_cache_dir` as JSON, so a new process skips planning
         for patterns it has already seen.  ``REPRO_NO_CACHE=1``
         disables the disk layer entirely.
+    eviction:
+        ``"cost"`` (default) evicts the cheapest-to-replan entry first,
+        least-recently-used breaking ties; ``"lru"`` is the classic
+        recency-only policy.
     """
 
-    def __init__(self, capacity: int = 128, *, persist: bool = False) -> None:
+    def __init__(self, capacity: int = 128, *, persist: bool = False, eviction: str = "cost") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if eviction not in ("cost", "lru"):
+            raise ValueError(f"eviction must be 'cost' or 'lru', got {eviction!r}")
         self.capacity = int(capacity)
         self.persist = bool(persist)
-        self._entries: "OrderedDict[str, ExecutionPlan]" = OrderedDict()
+        self.eviction = eviction
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -69,14 +110,22 @@ class PlanCache:
         digest = hashlib.sha256(key.encode()).hexdigest()[:24]
         return plan_cache_dir() / f"plan_{digest}.json"
 
-    def _load_disk(self, key: str) -> ExecutionPlan | None:
+    def _load_disk(self, key: str) -> _Entry | None:
         if not self.persist or _persist_disabled():
             return None
         path = self._path(key)
         if not path.exists():
             return None
         try:
-            return ExecutionPlan.from_json(path.read_text())
+            d = json.loads(path.read_text())
+            if "plan" in d:  # adaptive-era envelope: plan + features
+                feats = d.get("features")
+                return _Entry(
+                    ExecutionPlan.from_dict(d["plan"]),
+                    None if feats is None else tuple(float(x) for x in feats),
+                )
+            # Pre-adaptive format: the file is the bare plan dict.
+            return _Entry(ExecutionPlan.from_dict(d))
         except Exception as exc:
             warnings.warn(
                 f"discarding corrupt plan-cache entry {path.name}: {exc}; the plan will be rebuilt",
@@ -84,41 +133,92 @@ class PlanCache:
             )
             return None
 
-    def _store_disk(self, key: str, plan: ExecutionPlan) -> None:
+    def _store_disk(self, key: str, entry: _Entry) -> None:
         if not self.persist or _persist_disabled():
             return
         path = self._path(key)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(plan.to_json())
+        payload = {"plan": entry.plan.to_dict()}
+        if entry.features is not None:
+            payload["features"] = list(entry.features)
+        tmp.write_text(json.dumps(payload, sort_keys=True))
         tmp.replace(path)
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> ExecutionPlan | None:
         """Look up a plan; counts a hit/miss and refreshes LRU order."""
-        plan = self._entries.get(key)
-        if plan is not None:
+        entry = self._entries.get(key)
+        if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
-            return plan
-        plan = self._load_disk(key)
-        if plan is not None:
+            return entry.plan
+        entry = self._load_disk(key)
+        if entry is not None:
             self.disk_hits += 1
             self.hits += 1
-            self._insert(key, plan)
-            return plan
+            self._insert(key, entry)
+            return entry.plan
         self.misses += 1
         return None
 
-    def put(self, key: str, plan: ExecutionPlan) -> None:
-        self._insert(key, plan)
-        self._store_disk(key, plan)
+    def put(self, key: str, plan: ExecutionPlan, *, features=None) -> None:
+        """Insert (or replace) a plan, optionally with the fingerprint
+        features of the pattern it was planned for (the warm-start
+        neighbour coordinates)."""
+        entry = _Entry(plan, None if features is None else tuple(float(x) for x in features))
+        self._insert(key, entry)
+        self._store_disk(key, entry)
 
-    def _insert(self, key: str, plan: ExecutionPlan) -> None:
-        self._entries[key] = plan
+    def features_for(self, key: str) -> tuple[float, ...] | None:
+        """The stored fingerprint features of one entry (no LRU touch)."""
+        entry = self._entries.get(key)
+        return entry.features if entry is not None else None
+
+    def _insert(self, key: str, entry: _Entry) -> None:
+        self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+            self._evict_one(protect=key)
+
+    def _evict_one(self, *, protect: str) -> None:
+        # The just-inserted entry is never the victim: a cache that can
+        # reject its own inserts turns put() into a no-op and the engine
+        # would re-plan the same pattern on every multiply forever.
+        if self.eviction == "lru":
+            victim = next(k for k in self._entries if k != protect)
+        else:
+            # Cheapest-to-replan first; OrderedDict iteration order is
+            # the LRU order, and min() is stable, so among equal costs
+            # the least-recently-used entry loses.
+            victim = min(
+                (k for k in self._entries if k != protect),
+                key=lambda k: self._entries[k].replan_cost,
+            )
+        del self._entries[victim]
+        self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Warm-start neighbours
+    # ------------------------------------------------------------------
+    def nearest(self, features, *, exclude: str | None = None) -> ExecutionPlan | None:
+        """The cached plan whose stored fingerprint features are closest
+        to ``features`` (scale-invariant distance; see
+        :func:`~repro.engine.fingerprint.feature_distance`).
+
+        Returns ``None`` when no entry carries features.  Never touches
+        hit/miss counters or LRU order — this is a planning hint, not a
+        cache access.
+        """
+        from .fingerprint import feature_distance
+
+        best, best_d = None, math.inf
+        for key, entry in self._entries.items():
+            if key == exclude or entry.features is None:
+                continue
+            d = feature_distance(features, entry.features)
+            if d < best_d:
+                best, best_d = entry.plan, d
+        return best
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -144,6 +244,7 @@ class PlanCache:
         return {
             "size": len(self._entries),
             "capacity": self.capacity,
+            "eviction": self.eviction,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,

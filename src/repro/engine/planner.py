@@ -303,6 +303,8 @@ def _estimate_candidate_costs(
     candidates: list[Candidate],
     cost,
     cfg: ExperimentConfig,
+    *,
+    backend_factor=None,
 ) -> list[float]:
     """Coarse per-multiply model-time estimate of each candidate.
 
@@ -380,9 +382,13 @@ def _estimate_candidate_costs(
                 + cost.stream_byte * (padded * 8 + nnz_a * 4)
                 + cost.gamma_brow * visits
             )
-        # Backend axis: same dataflow, faster implementation (a ranking
-        # hint, not a measurement; 1.0 for reference).
-        t *= get_component("backend", cand.backend).model_speed_factor
+        # Backend axis: same dataflow, faster implementation.  The
+        # factor is the static registry hint unless the caller supplies
+        # a (calibrated) resolver; 1.0 for reference either way.
+        if backend_factor is None:
+            t *= get_component("backend", cand.backend).model_speed_factor
+        else:
+            t *= backend_factor(cand)
         out.append(float(t))
     return out
 
@@ -394,6 +400,11 @@ class Planner:
     """Base planner: candidate measurement + plan assembly."""
 
     name = "base"
+    #: Whether :meth:`plan`'s ``warm_start`` hint influences the search.
+    #: Only measured-trial policies consume it (autotune); ranking-only
+    #: and fixed policies ignore the hint, so the engine skips the
+    #: neighbour lookup for them entirely.
+    uses_warm_start = False
 
     def __init__(
         self,
@@ -403,6 +414,7 @@ class Planner:
         seed: int = 0,
         reorderings: tuple[str, ...] | None = None,
         backend: "str | tuple | None" = None,
+        calibration=None,
     ) -> None:
         from ..experiments.runner import machine_for  # local: avoid import cycle at module load
 
@@ -410,6 +422,11 @@ class Planner:
         self.machine = machine or machine_for(self.cfg)
         self.seed = int(seed)
         self.reorderings = planner_reorderings() if reorderings is None else tuple(reorderings)
+        #: Optional CalibrationTable: measured backend speed factors
+        #: replace the static model_speed_factor hints wherever the
+        #: planner ranks or measures along the backend axis.
+        self.calibration = calibration
+        self._warm: Candidate | None = None  # warm-start hint for one plan() call
         # Backend mode (DESIGN.md §10): None → reference only (the
         # bitwise default), "auto" → enumerate every planner-ranked
         # backend, anything else → pin that backend for every candidate.
@@ -436,9 +453,28 @@ class Planner:
         return name + ":" + ",".join(f"{k}={v}" for k, v in params)
 
     @property
+    def calibration_epoch(self) -> int:
+        """Epoch of the calibration ranking this planner (0 = static hints)."""
+        return self.calibration.epoch if self.calibration is not None else 0
+
+    @property
     def cache_token(self) -> str:
-        """Discriminates plan-cache entries across planner settings."""
-        return f"{self.name}:{','.join(self.reorderings)}:b={self.backend_token}"
+        """Discriminates plan-cache entries across planner settings.
+
+        A calibrated planner appends a *content digest* of its
+        calibration table (the epoch counter is resettable, the digest
+        is not), so plans ranked under different measurements are never
+        served to each other — and uncalibrated tokens stay
+        byte-identical to what earlier releases persisted.
+        """
+        return f"{self.name}:{','.join(self.reorderings)}:b={self.backend_token}" + self._calibration_suffix
+
+    @property
+    def _calibration_suffix(self) -> str:
+        """``":c<digest>"`` for calibrated planners, ``""`` otherwise —
+        every ``cache_token`` (subclass overrides included) must append
+        it, or calibrated and uncalibrated plans would share keys."""
+        return f":c{self.calibration.digest}" if self.calibration is not None else ""
 
     def take_prepared(self) -> PreparedOperand | None:
         """Hand over the winning candidate's materialised operand.
@@ -475,9 +511,30 @@ class Planner:
             )
         return cands
 
-    def _backend_factor(self, backend: str) -> float:
-        """The backend's relative-speed ranking hint (registry tag)."""
-        return get_component("backend", backend).model_speed_factor
+    def _backend_factor(self, backend: str, *, kernel: str = "rowwise", A: CSRMatrix | None = None) -> float:
+        """The backend's relative-speed factor.
+
+        With a :class:`~repro.engine.adaptive.CalibrationTable` this is
+        the *measured* wall-clock ratio for the matrix's
+        ``(n, nnz/row, density)`` bin; otherwise (or for bins the
+        calibration never visited) the static ``model_speed_factor``
+        registry hint.
+        """
+        static = get_component("backend", backend).model_speed_factor
+        if self.calibration is None or A is None or backend == "reference":
+            return static
+        measured = self.calibration.factor(
+            backend,
+            kernel,
+            n=A.nrows,
+            nnz_row=A.nnz / max(1, A.nrows),
+            density=A.nnz / max(1, A.nrows * A.ncols),
+        )
+        return static if measured is None else measured
+
+    def _candidate_factor_fn(self, A: CSRMatrix):
+        """Per-candidate backend-factor resolver for the cost estimator."""
+        return lambda cand: self._backend_factor(cand.backend, kernel=cand.kernel, A=A)
 
     def _measure(self, A: CSRMatrix, B: CSRMatrix, cand: Candidate) -> tuple[float, PreparedOperand]:
         """Materialise ``cand`` and simulate one multiply (model time).
@@ -506,21 +563,22 @@ class Planner:
             res = self.machine.run_clusterwise(prep.Ac, B)
         else:
             res = self.machine.run_rowwise(prep.Ar, B)
-        return res.time * self._backend_factor(cand.backend), prep
+        return res.time * self._backend_factor(cand.backend, kernel=cand.kernel, A=A), prep
 
     def _baseline(self, A: CSRMatrix, B: CSRMatrix) -> float:
         return self.machine.run_rowwise(A, B).time
 
-    def _apply_backend(self, cand: Candidate) -> Candidate:
+    def _apply_backend(self, cand: Candidate, A: CSRMatrix | None = None) -> Candidate:
         """Re-target a policy-chosen candidate along the backend axis.
 
         Used by policies that pick a candidate outside
         :meth:`_candidates` (the predictor).  Pinned mode applies the
         pinned backend (a pin that cannot execute the chosen kernel is a
         configuration error); ``auto`` mode picks the planner-ranked
-        backend with the best ``model_speed_factor`` that supports the
-        kernel — same dataflow, so the factor alone orders the choices
-        (``reference`` wins ties via its rank).
+        backend with the best speed factor — measured when calibrated,
+        the static ``model_speed_factor`` hint otherwise — that supports
+        the kernel: same dataflow, so the factor alone orders the
+        choices (``reference`` wins ties via its rank).
         """
         from ..backends import backend_supports
 
@@ -530,7 +588,13 @@ class Planner:
                 for c in components("backend", planned=True)
                 if backend_supports(c.name, (), cand.kernel)
             ]
-            best = min(choices, key=lambda c: (c.model_speed_factor, c.planner_rank))
+            best = min(
+                choices,
+                key=lambda c: (
+                    self._backend_factor(c.name, kernel=cand.kernel, A=A),
+                    c.planner_rank,
+                ),
+            )
             if best.name != "reference":
                 return replace_candidate(cand, best.name)
             return cand
@@ -569,6 +633,7 @@ class Planner:
             baseline_cost=baseline,
             pre_cost=prep.pre_cost,
             planning_cost=planning,
+            calibration_epoch=self.calibration_epoch,
         )
 
     def _select(
@@ -582,12 +647,66 @@ class Planner:
         """
         raise NotImplementedError
 
+    def warm_candidate(self, plan: "ExecutionPlan | None", A: CSRMatrix) -> Candidate | None:
+        """Reconcile a warm-start hint (a neighbour's cached plan) with
+        this planner's constraints: squareness and the backend mode.
+
+        Returns ``None`` when the hint cannot apply (rectangular operand
+        vs a square-only reordering, or a pinned backend that cannot run
+        the hinted kernel) — a warm start is an optimisation, never a
+        constraint.  The engine calls this once and passes the resolved
+        :class:`Candidate` straight to :meth:`plan`.
+        """
+        if plan is None:
+            return None
+        if (
+            A.nrows != A.ncols
+            and plan.reordering != "original"
+            and get_component("reordering", plan.reordering).square_only
+        ):
+            return None
+        from ..backends import backend_supports
+
+        cand = Candidate(plan.reordering, plan.clustering, plan.kernel)
+        if self._backend_mode == "auto":
+            if plan.backend != "reference" and backend_supports(
+                plan.backend, plan.backend_params, plan.kernel
+            ):
+                cand = replace_candidate(cand, plan.backend, plan.backend_params)
+        elif self._backend_mode == "pinned":
+            name, params = self._pinned
+            if not backend_supports(name, params, cand.kernel):
+                return None
+            cand = replace_candidate(cand, name, params)
+        return cand
+
     def plan(
-        self, A: CSRMatrix, B: CSRMatrix, fp: MatrixFingerprint, workload: str = "asquare"
+        self,
+        A: CSRMatrix,
+        B: CSRMatrix,
+        fp: MatrixFingerprint,
+        workload: str = "asquare",
+        *,
+        warm_start: "ExecutionPlan | Candidate | None" = None,
     ) -> ExecutionPlan:
-        """Produce the plan for ``A @ B``-shaped workloads on ``A``'s pattern."""
-        baseline = self._baseline(A, B)
-        cand, predicted, prep, trial_cost = self._select(A, B, fp, baseline)
+        """Produce the plan for ``A @ B``-shaped workloads on ``A``'s pattern.
+
+        ``warm_start`` is the nearest cached neighbour's plan (plan-cache
+        warm starts, DESIGN.md §11): search policies treat it as the
+        first trial candidate so structurally similar patterns start
+        from a proven configuration instead of a cold ranking.  An
+        already-reconciled :class:`Candidate` (from
+        :meth:`warm_candidate`) is used as-is.
+        """
+        if isinstance(warm_start, Candidate):
+            self._warm = warm_start
+        else:
+            self._warm = self.warm_candidate(warm_start, A)
+        try:
+            baseline = self._baseline(A, B)
+            cand, predicted, prep, trial_cost = self._select(A, B, fp, baseline)
+        finally:
+            self._warm = None
         self._winner_prep = prep  # engine picks this up via take_prepared()
         # Planning charged: every simulation the planner ran — the
         # baseline, the winner's measurement, and any extra trials.
@@ -604,7 +723,10 @@ class HeuristicPlanner(Planner):
 
     def choose(self, A: CSRMatrix, B: CSRMatrix, fp: MatrixFingerprint) -> Candidate:
         cands = self._candidates(A)
-        est = _estimate_candidate_costs(A, B, fp.feature_array(), cands, self.machine.cost, self.cfg)
+        est = _estimate_candidate_costs(
+            A, B, fp.feature_array(), cands, self.machine.cost, self.cfg,
+            backend_factor=self._candidate_factor_fn(A),
+        )
         return cands[int(np.argmin(est))]
 
     def _select(self, A, B, fp, baseline):
@@ -661,7 +783,7 @@ class PredictorPlanner(Planner):
         return Candidate(algo, variant, "cluster")
 
     def _select(self, A, B, fp, baseline):
-        cand = self._apply_backend(self.choose(A, B, fp))
+        cand = self._apply_backend(self.choose(A, B, fp), A)
         predicted, prep = self._measure(A, B, cand)
         return cand, predicted, prep, 0.0
 
@@ -674,6 +796,7 @@ class AutotunePlanner(Planner):
     """
 
     name = "autotune"
+    uses_warm_start = True
 
     def __init__(self, *, top_k: int = 3, **kw) -> None:
         super().__init__(**kw)
@@ -687,8 +810,17 @@ class AutotunePlanner(Planner):
 
     def _select(self, A, B, fp, baseline):
         cands = self._candidates(A)
-        est = _estimate_candidate_costs(A, B, fp.feature_array(), cands, self.machine.cost, self.cfg)
+        est = _estimate_candidate_costs(
+            A, B, fp.feature_array(), cands, self.machine.cost, self.cfg,
+            backend_factor=self._candidate_factor_fn(A),
+        )
         order = np.argsort(est, kind="stable")[: self.top_k]
+        trial_cands = [cands[int(i)] for i in order]
+        # Plan-cache warm start: the nearest cached neighbour's
+        # configuration is the *first* measured trial, whether or not
+        # the cold ranking would have shortlisted it.
+        if self._warm is not None and self._warm not in trial_cands:
+            trial_cands.insert(0, self._warm)
         # The reference baseline is always a contender (never tune *into*
         # a slowdown blindly) — its measurement is the baseline
         # simulation the base class already ran, so it costs no extra
@@ -698,8 +830,7 @@ class AutotunePlanner(Planner):
         baseline_cand = Candidate("original", None, "rowwise")
         baseline_contends = self._backend_mode != "pinned"
         measured = []
-        for i in order:
-            cand = cands[int(i)]
+        for cand in trial_cands:
             if baseline_contends and cand == baseline_cand:
                 continue
             t, prep = self._measure(A, B, cand)
@@ -739,7 +870,7 @@ class PipelinePlanner(Planner):
 
     @property
     def cache_token(self) -> str:
-        return f"{self.name}:{self.spec}"
+        return f"{self.name}:{self.spec}" + self._calibration_suffix
 
     def _select(self, A, B, fp, baseline):
         spec = self.spec
@@ -756,7 +887,8 @@ class PipelinePlanner(Planner):
         cand = Candidate(
             spec.reordering, spec.clustering, spec.kernel, spec.backend, spec.backend_params
         )
-        return cand, res.time * self._backend_factor(spec.backend), prep, 0.0
+        factor = self._backend_factor(spec.backend, kernel=spec.kernel, A=A)
+        return cand, res.time * factor, prep, 0.0
 
     def _assemble(self, cand, prep, fp, workload, *, predicted, baseline, planning):
         # Serialise through the spec so reordering/kernel parameters and
@@ -771,6 +903,7 @@ class PipelinePlanner(Planner):
             baseline_cost=baseline,
             pre_cost=prep.pre_cost,
             planning_cost=planning,
+            calibration_epoch=self.calibration_epoch,
         )
 
 

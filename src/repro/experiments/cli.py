@@ -155,27 +155,68 @@ def engine_demo(args) -> str:
     ``--pipeline`` pins an explicit declarative spec (e.g.
     ``rcm+fixed:8+cluster@scipy``) instead of searching with
     ``--policy``; ``--backend`` pins (or, with ``auto``, opens up) the
-    execution backend the planner may choose.
+    execution backend the planner may choose.  ``--calibrate``
+    micro-benchmarks the registered backends first and plans with the
+    *measured* speed factors (persisted next to the plan cache);
+    ``--drift-threshold`` arms drift-triggered re-planning, and
+    ``--drift-demo`` exercises it end-to-end by degrading the right
+    operand's value profile mid-run (DESIGN.md §11).
     """
     from ..engine import SpGEMMEngine
-    from ..matrices import get_matrix
+    from ..matrices import get_matrix, perturb_values
     from ..pipeline import PipelineSpec
 
     A = get_matrix(args.matrix)
     backend = args.backend or None
+    lines = []
+    calibration = None
+    if args.calibrate:
+        from ..engine import BackendCalibrator
+
+        calibration = BackendCalibrator().calibrate_and_save()
+        lines.append(
+            f"calibration: epoch {calibration.epoch}, "
+            f"{len(calibration.entries)} measured (backend, kernel, bin) factors"
+        )
+    drift_threshold = args.drift_threshold
+    if args.drift_demo and drift_threshold is None:
+        drift_threshold = 1.5  # the demo is pointless with the monitor unarmed
+    adaptive_kw = dict(calibration=calibration, drift_threshold=drift_threshold)
     if args.pipeline:
         spec = PipelineSpec.parse(args.pipeline)
-        eng = SpGEMMEngine(pipeline=spec, backend=backend, config=ExperimentConfig())
+        eng = SpGEMMEngine(pipeline=spec, backend=backend, config=ExperimentConfig(), **adaptive_kw)
         chosen = f"pipeline={eng.planner.spec}"
     else:
-        eng = SpGEMMEngine(policy=args.policy, backend=backend, config=ExperimentConfig())
+        eng = SpGEMMEngine(policy=args.policy, backend=backend, config=ExperimentConfig(), **adaptive_kw)
         chosen = f"policy={args.policy}"
         if backend:
             chosen += f", backend={backend}"
-    for _ in range(max(1, args.iters)):
-        eng.multiply(A)
-    plan = eng.plan_for(A)
-    lines = [
+    iters = max(1, args.iters)
+    if args.drift_demo:
+        # Drift scenario: plan against a value-twin of A, then keep
+        # multiplying by a dropout-degraded right operand whose profile
+        # no longer matches the plan's prediction.
+        B0 = perturb_values(A, scale=0.0, seed=0)
+        eng.multiply(A, B0)
+        B1 = perturb_values(A, scale=0.1, seed=3, dropout=0.9)
+        for _ in range(iters):
+            eng.multiply(A, B1)
+        plan = eng.plan_for(A, B1)
+        s = eng.stats()
+        lines.append(
+            f"drift demo: {s.drift_probes} probes, {s.drift_detected} drifting, "
+            f"{s.replans} re-plans"
+        )
+        for ev in s.replan_log:
+            lines.append(
+                f"  re-planned {ev['from']} -> {ev['to']} "
+                f"(predicted {ev['predicted']:.0f}, executed {ev['executed']:.0f})"
+            )
+    else:
+        for _ in range(iters):
+            eng.multiply(A)
+        plan = eng.plan_for(A)
+    lines += [
         f"engine demo: {args.matrix} (n={A.nrows}, nnz={A.nnz}), {chosen}",
         f"plan: {plan.label}   predicted speedup {plan.predicted_speedup:.2f}x, "
         f"break-even after {plan.break_even_iterations():.1f} multiplies",
@@ -237,6 +278,27 @@ def main(argv: list[str] | None = None) -> int:
         help="execution backend for the engine command: a registered backend name "
         "optionally with parameters (scipy, sharded:workers=2,inner=scipy) or 'auto' "
         "to let the planner choose (default: reference, the bitwise oracle)",
+    )
+    parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="micro-benchmark the registered backends first and plan with the measured "
+        "speed factors (persisted next to the plan cache; honours REPRO_NO_CACHE)",
+    )
+    parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="arm drift-triggered re-planning: re-trial the plan (including backend "
+        "choice) when executed/predicted cost repeatedly leaves [1/RATIO, RATIO]",
+    )
+    parser.add_argument(
+        "--drift-demo",
+        action="store_true",
+        help="engine command: degrade the right operand's value profile mid-run to "
+        "demonstrate drift detection and re-planning (arms --drift-threshold 1.5 "
+        "unless one is given)",
     )
     args = parser.parse_args(argv)
     targets = list(ARTEFACTS) if args.what == "all" else [args.what]

@@ -41,18 +41,31 @@ def scramble_partial(A: CSRMatrix, *, fraction: float = 0.3, seed: int = 0) -> C
     return A.permute_symmetric(perm)
 
 
-def perturb_values(A: CSRMatrix, *, scale: float = 0.05, seed: int = 0) -> CSRMatrix:
-    """Same sparsity pattern, multiplicatively jittered values.
+def perturb_values(A: CSRMatrix, *, scale: float = 0.05, seed: int = 0, dropout: float = 0.0) -> CSRMatrix:
+    """Multiplicatively jittered values, optionally with value dropout.
 
-    Models the iterative-workload regime (BC waves, AMG cycles, Markov
-    iterations) where values evolve while the pattern is fixed — exactly
+    With ``dropout=0`` (the default) the sparsity pattern is untouched —
+    the iterative-workload regime (BC waves, AMG cycles, Markov
+    iterations) where values evolve while the pattern is fixed, exactly
     the case the engine's pattern-keyed plan cache must recognise as a
     hit ("same pattern, new values" reuses the plan).
+
+    ``dropout > 0`` additionally zeroes that fraction of entries and
+    prunes them: a *value-driven* pattern change (converged couplings,
+    thresholded weights) that degrades whatever cluster/locality profile
+    the original pattern had — the drift regime the adaptive engine's
+    re-planning targets (DESIGN.md §11).
     """
     if scale < 0:
         raise ValueError(f"scale must be >= 0, got {scale}")
+    if not (0.0 <= dropout < 1.0):
+        raise ValueError(f"dropout must be in [0, 1), got {dropout}")
     rng = np.random.default_rng(seed)
     factors = 1.0 + scale * rng.standard_normal(A.nnz)
-    return CSRMatrix(
-        A.indptr.copy(), A.indices.copy(), A.values * factors, A.shape, check=False
-    )
+    values = A.values * factors
+    if dropout == 0.0:
+        return CSRMatrix(A.indptr.copy(), A.indices.copy(), values, A.shape, check=False)
+    keep = rng.random(A.nnz) >= dropout
+    kept_cum = np.concatenate(([0], np.cumsum(keep, dtype=A.indptr.dtype)))
+    indptr = kept_cum[A.indptr]
+    return CSRMatrix(indptr, A.indices[keep].copy(), values[keep], A.shape, check=False)

@@ -394,11 +394,20 @@ def test_plan_backend_serialisation_round_trip():
 
 
 def test_plan_dicts_without_backend_fields_load_as_reference():
+    # A plan persisted before the backend axis *and* before the adaptive
+    # runtime: no backend fields, no calibration epoch (and its cache
+    # file carries no fingerprint features — covered in
+    # test_engine_cache).  It must still load — as reference, epoch 0 —
+    # and still execute.
     d = ExecutionPlan(reordering="rcm", clustering=None, kernel="rowwise").to_dict()
     d.pop("backend")
     d.pop("backend_params")
+    d.pop("calibration_epoch")
     plan = ExecutionPlan.from_dict(d)
     assert plan.backend == "reference" and plan.backend_params == ()
+    assert plan.calibration_epoch == 0
+    C = plan.pipeline().run(A)
+    assert _bitwise(C)  # executes on the reference backend, bitwise
 
 
 def test_plan_rejects_unknown_or_incompatible_backend():

@@ -3,24 +3,8 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from conftest import coo_matrices, permutations
 from repro.core import COOMatrix, CSRMatrix, is_canonical
-
-
-@st.composite
-def coo_matrices(draw, max_n=12, max_nnz=40):
-    n = draw(st.integers(1, max_n))
-    m = draw(st.integers(1, max_n))
-    k = draw(st.integers(0, max_nnz))
-    rows = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
-    cols = draw(st.lists(st.integers(0, m - 1), min_size=k, max_size=k))
-    vals = draw(st.lists(st.floats(-10, 10, allow_nan=False), min_size=k, max_size=k))
-    return COOMatrix(np.array(rows, np.int64), np.array(cols, np.int64), np.array(vals), (n, m))
-
-
-@st.composite
-def permutations(draw, n):
-    seed = draw(st.integers(0, 2**31 - 1))
-    return np.random.default_rng(seed).permutation(n)
 
 
 @given(coo_matrices())

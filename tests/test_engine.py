@@ -10,6 +10,7 @@ repeated-multiply (BC-style) run.
 import numpy as np
 import pytest
 
+from conftest import assert_bitwise_equal
 from repro.core import spgemm_rowwise
 from repro.engine import SpGEMMEngine
 from repro.experiments import ExperimentConfig
@@ -28,19 +29,6 @@ POLICIES = ("heuristic", "predictor", "autotune")
 def suite_matrix():
     """A named suite matrix (the acceptance criterion's operand)."""
     return get_matrix("pdb1")
-
-
-@pytest.fixture(scope="module")
-def gainful_matrix():
-    """A scrambled block matrix where clustering beats the baseline."""
-    return scramble(G.block_diagonal(24, 16, density=0.5, seed=1), seed=7)
-
-
-def assert_bitwise_equal(C, ref):
-    assert C.shape == ref.shape
-    assert np.array_equal(C.indptr, ref.indptr)
-    assert np.array_equal(C.indices, ref.indices)
-    assert np.array_equal(C.values, ref.values)  # bitwise, not allclose
 
 
 # ----------------------------------------------------------------------

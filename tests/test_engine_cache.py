@@ -127,6 +127,22 @@ def test_plan_cache_disk_persistence(tmp_path, monkeypatch):
     assert got == plan
     assert fresh.disk_hits == 1
 
+    # Backward compat: a file persisted before the adaptive runtime is a
+    # *bare* plan dict — no {"plan":…, "features":…} envelope, no
+    # backend fields, no calibration epoch.  It must load as a reference
+    # plan with no warm-start features.
+    import json
+
+    d = plan.to_dict()
+    for legacy_missing in ("backend", "backend_params", "calibration_epoch"):
+        d.pop(legacy_missing)
+    old = PlanCache(persist=True)
+    old._path("old_key").write_text(json.dumps(d))
+    loaded = old.get("old_key")
+    assert loaded is not None
+    assert loaded.backend == "reference" and loaded.calibration_epoch == 0
+    assert old.features_for("old_key") is None
+
 
 def test_plan_cache_respects_no_cache_env(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

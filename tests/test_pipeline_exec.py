@@ -6,6 +6,7 @@ CLI ``--pipeline`` path."""
 import numpy as np
 import pytest
 
+from conftest import assert_bitwise_equal, scrambled_blocks_matrix
 from repro import PipelineSpec, SpGEMMEngine
 from repro.core import spgemm_rowwise
 from repro.experiments import ExperimentConfig
@@ -27,13 +28,6 @@ def small_matrix():
 @pytest.fixture(scope="module")
 def small_ref(small_matrix):
     return spgemm_rowwise(small_matrix, small_matrix)
-
-
-def assert_bitwise_equal(C, ref):
-    assert C.shape == ref.shape
-    assert np.array_equal(C.indptr, ref.indptr)
-    assert np.array_equal(C.indices, ref.indices)
-    assert np.array_equal(C.values, ref.values)  # bitwise, not allclose
 
 
 # ----------------------------------------------------------------------
@@ -66,7 +60,7 @@ def test_acceptance_spec_round_trips_builds_and_runs_everywhere():
     spec = PipelineSpec.parse(ACCEPTANCE_SPEC)
     assert PipelineSpec.parse(str(spec)) == spec  # round-trip
 
-    A = scramble(G.block_diagonal(16, 12, density=0.5, seed=1), seed=7)
+    A = scrambled_blocks_matrix(16, 12)
     ref = spgemm_rowwise(A, A)
 
     built = spec.build(A, cfg=SMALL_CFG)  # builds

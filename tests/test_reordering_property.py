@@ -3,20 +3,15 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core import COOMatrix, CSRMatrix, spgemm_rowwise
+from conftest import square_csr
+from repro.core import spgemm_rowwise
 from repro.reordering import apply_permutation, available_reorderings, bandwidth, reorder
 from repro.reordering.simple import _gray_decode
 
 
-@st.composite
-def small_square(draw, max_n=16, max_nnz=48):
-    n = draw(st.integers(2, max_n))
-    k = draw(st.integers(0, max_nnz))
-    rows = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
-    cols = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
-    return CSRMatrix.from_coo(
-        COOMatrix(np.array(rows, np.int64), np.array(cols, np.int64), np.ones(k), (n, n))
-    )
+def small_square():
+    """Structure-only square operands (shared strategy, unit values)."""
+    return square_csr(max_n=16, max_nnz=48, unit_values=True)
 
 
 @given(small_square(), st.sampled_from(sorted(set(available_reorderings()) - {"original"})))

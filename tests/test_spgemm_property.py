@@ -11,35 +11,13 @@ Core invariants exercised on random inputs:
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from conftest import random_partition, square_csr
 from repro.core import (
-    COOMatrix,
     CSRCluster,
-    CSRMatrix,
     cluster_spgemm,
     spgemm_rowwise,
     spgemm_symbolic,
 )
-
-
-@st.composite
-def square_csr(draw, max_n=14, max_nnz=50):
-    n = draw(st.integers(2, max_n))
-    k = draw(st.integers(0, max_nnz))
-    rows = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
-    cols = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
-    vals = draw(st.lists(st.floats(-4, 4, allow_nan=False), min_size=k, max_size=k))
-    return CSRMatrix.from_coo(COOMatrix(np.array(rows, np.int64), np.array(cols, np.int64), np.array(vals), (n, n)))
-
-
-@st.composite
-def random_partition(draw, n):
-    """A random ordered partition of range(n) into clusters."""
-    seed = draw(st.integers(0, 2**31 - 1))
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(n)
-    ncuts = draw(st.integers(0, max(0, n - 1)))
-    cuts = np.sort(rng.choice(np.arange(1, n), size=min(ncuts, n - 1), replace=False)) if n > 1 else []
-    return [np.array(c) for c in np.split(order, cuts)]
 
 
 @given(square_csr(), st.sampled_from(["sort", "dense", "hash"]))

@@ -25,7 +25,9 @@ measurements:
    order of magnitude (scipy hint 0.35 vs real ≈ 0.02 — see
    ``BENCH_backends.json``); the calibrated factors are not.
 
-Emits ``BENCH_adaptive.json`` at the repository root::
+Emits ``BENCH_adaptive.json`` at the repository root, wrapped in the
+schema-versioned envelope of ``benchmarks/_common.py`` (payload below
+under ``"results"``, gated summary metrics under ``"gate"``)::
 
     {
       "matrices": {"wb": {"static":     {"plan": .., "seconds": ..},
@@ -58,6 +60,8 @@ from repro.engine import BackendCalibrator, SpGEMMEngine
 from repro.experiments import ExperimentConfig
 from repro.matrices import get_matrix
 from repro.pipeline import PipelineSpec
+
+from _common import gate_metric, save_bench_json
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_adaptive.json"
 
@@ -179,7 +183,24 @@ def run_bench() -> dict:
 
 def save_bench() -> dict:
     results = run_bench()
-    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    s = results["summary"]
+    gates = [
+        gate_metric(
+            "summary.geomean_speedup_calibrated_vs_static",
+            s["geomean_speedup_calibrated_vs_static"],
+            "higher",
+        ),
+        gate_metric(
+            "summary.mean_abs_log_error_calibrated", s["mean_abs_log_error_calibrated"], "lower"
+        ),
+    ]
+    save_bench_json(
+        OUT_PATH,
+        "adaptive",
+        results,
+        gate=gates,
+        config={"matrices": MATRICES, "fidelity_matrix": FIDELITY_MATRIX, "reps": REPS},
+    )
     return results
 
 

@@ -8,12 +8,18 @@ Only the *execution* is timed — preparation is the amortised one-off the
 engine already accounts for — so the numbers isolate exactly what the
 backend axis changes.
 
-Emits ``BENCH_backends.json`` at the repository root::
+Emits ``BENCH_backends.json`` at the repository root, wrapped in the
+schema-versioned envelope of ``benchmarks/_common.py`` (results payload
+under ``"results"``, gated geomean speedups under ``"gate"``)::
 
     {
-      "matrices": {"web1200": {"rowwise": {"scipy": {"seconds": ..,
-                                                     "speedup_vs_reference": ..}, ...}}},
-      "summary":  {"rowwise@scipy": <geomean speedup>, ...},
+      "schema": 1, "bench": "backends", "git_rev": .., "config": {..},
+      "gate": [{"metric": "summary.rowwise@scipy", ..}, ..],
+      "results": {
+        "matrices": {"web1200": {"rowwise": {"scipy": {"seconds": ..,
+                                                       "speedup_vs_reference": ..}, ...}}},
+        "summary":  {"rowwise@scipy": <geomean speedup>, ...},
+      }
     }
 
 Run directly (``python benchmarks/bench_backends.py``) or via pytest.
@@ -31,6 +37,8 @@ from pathlib import Path
 from repro.backends import get_backend, parse_backend, time_execution
 from repro.matrices import generators as G
 from repro.pipeline import PipelineSpec, available_components
+
+from _common import gate_metric, save_bench_json
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
 
@@ -95,7 +103,18 @@ def run_bench() -> dict:
 
 def save_bench() -> dict:
     results = run_bench()
-    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    gates = [
+        gate_metric(f"summary.{case}", gm, "higher")
+        for case, gm in sorted(results["summary"].items())
+        if not case.endswith("@reference")  # the 1.0 anchor gates nothing
+    ]
+    save_bench_json(
+        OUT_PATH,
+        "backends",
+        results,
+        gate=gates,
+        config={"matrices": sorted(MATRICES), "sharded": SHARDED, "reps": 3},
+    )
     return results
 
 

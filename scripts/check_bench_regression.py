@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Perf regression gate over the committed ``BENCH_*.json`` artefacts.
+
+Every bench artefact is a schema-versioned envelope (see
+``benchmarks/_common.py``) whose ``"gate"`` list names the metrics that
+matter and which direction is better.  This script — stdlib only, so CI
+can run it before installing anything — validates every envelope and
+compares each gated metric against ``benchmarks/bench_baseline.json``:
+
+* each comparison becomes an **oriented ratio** (``current/baseline``
+  for higher-is-better metrics, ``baseline/current`` for lower-is-
+  better), so 1.0 always means "unchanged" and < 1.0 always means
+  "worse";
+* the gate fails when the **geomean** of all oriented ratios drops
+  below ``1 - tolerance`` (default 10%), or when any single metric
+  regresses below ``1 - metric_tolerance`` (default 25%) — a guard
+  against one metric tanking behind a compensating improvement;
+* a gated bench or metric missing from the baseline fails loudly: new
+  benches must land with a baseline entry (run ``--update-baseline``).
+
+``--update-baseline`` rewrites the baseline from the current artefacts
+and exits 0 — the deliberate act of accepting a perf change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "bench_baseline.json"
+
+REQUIRED_ENVELOPE_KEYS = ("schema", "bench", "git_rev", "config", "gate", "results")
+
+
+def load_envelopes(root: Path) -> dict[str, dict]:
+    """All ``BENCH_*.json`` envelopes at the repo root, validated."""
+    envelopes: dict[str, dict] = {}
+    paths = sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        fail(f"no BENCH_*.json artefacts found under {root}")
+    for path in paths:
+        try:
+            env = json.loads(path.read_text())
+        except Exception as exc:
+            fail(f"{path.name}: not valid JSON ({exc})")
+        missing = [k for k in REQUIRED_ENVELOPE_KEYS if k not in env]
+        if missing:
+            fail(f"{path.name}: envelope missing keys {missing} (pre-envelope format? regenerate the bench)")
+        if env["schema"] != SCHEMA_VERSION:
+            fail(f"{path.name}: schema {env['schema']!r}, this gate understands {SCHEMA_VERSION}")
+        for g in env["gate"]:
+            if not isinstance(g, dict) or not {"metric", "value", "direction"} <= g.keys():
+                fail(f"{path.name}: malformed gate entry {g!r}")
+            if g["direction"] not in ("higher", "lower"):
+                fail(f"{path.name}: gate direction must be higher/lower, got {g['direction']!r}")
+            if not isinstance(g["value"], (int, float)) or isinstance(g["value"], bool):
+                fail(f"{path.name}: gate value for {g['metric']!r} is not a number: {g['value']!r}")
+        name = env["bench"]
+        if name in envelopes:
+            fail(f"duplicate bench name {name!r} (second file: {path.name})")
+        envelopes[name] = env
+    return envelopes
+
+
+def baseline_from(envelopes: dict[str, dict]) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "benches": {
+            name: {
+                g["metric"]: {"value": g["value"], "direction": g["direction"]}
+                for g in env["gate"]
+            }
+            for name, env in envelopes.items()
+        },
+    }
+
+
+def oriented_ratio(current: float, base: float, direction: str) -> float:
+    """current vs base as a ratio where > 1.0 is always an improvement."""
+    if base <= 0 or current <= 0:
+        # Ratios are meaningless at or below zero; treat a sign change
+        # as a hard regression and identical degenerate values as flat.
+        return 1.0 if current == base else 0.0
+    return current / base if direction == "higher" else base / current
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", type=Path, default=REPO_ROOT, help="repository root to scan")
+    ap.add_argument("--baseline", type=Path, default=BASELINE_PATH, help="baseline JSON path")
+    ap.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed geomean regression across all gated metrics (default 0.10 = 10%%)",
+    )
+    ap.add_argument(
+        "--metric-tolerance", type=float, default=0.25,
+        help="allowed regression for any single metric (default 0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--update-baseline", action="store_true",
+        help="accept the current artefacts as the new baseline and exit",
+    )
+    args = ap.parse_args(argv)
+
+    envelopes = load_envelopes(args.repo)
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(baseline_from(envelopes), indent=2, sort_keys=True) + "\n")
+        total = sum(len(b) for b in baseline_from(envelopes)["benches"].values())
+        print(f"baseline updated: {len(envelopes)} benches, {total} gated metrics -> {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        fail(f"no baseline at {args.baseline}; run with --update-baseline to create one")
+    baseline = json.loads(args.baseline.read_text())
+    if baseline.get("schema") != SCHEMA_VERSION:
+        fail(f"baseline schema {baseline.get('schema')!r} != {SCHEMA_VERSION}")
+
+    ratios: list[tuple[str, float]] = []
+    worst: tuple[str, float] | None = None
+    for name, metrics in sorted(baseline["benches"].items()):
+        env = envelopes.get(name)
+        if env is None:
+            fail(f"baseline bench {name!r} has no BENCH_*.json artefact")
+        current = {g["metric"]: g for g in env["gate"]}
+        for metric, base in sorted(metrics.items()):
+            cur = current.get(metric)
+            if cur is None:
+                fail(f"{name}: gated metric {metric!r} missing from the current artefact")
+            if cur["direction"] != base["direction"]:
+                fail(f"{name}.{metric}: direction changed {base['direction']} -> {cur['direction']}")
+            r = oriented_ratio(cur["value"], base["value"], base["direction"])
+            ratios.append((f"{name}.{metric}", r))
+            if worst is None or r < worst[1]:
+                worst = (f"{name}.{metric}", r)
+            marker = " " if r >= 1.0 - args.metric_tolerance else "!"
+            print(f"{marker} {name}.{metric}: {base['value']:g} -> {cur['value']:g}  (x{r:.3f})")
+    for name, env in sorted(envelopes.items()):
+        for g in env["gate"]:
+            if g["metric"] not in baseline["benches"].get(name, {}):
+                fail(
+                    f"{name}: gated metric {g['metric']!r} not in the baseline — "
+                    "run scripts/check_bench_regression.py --update-baseline and commit it"
+                )
+
+    if not ratios:
+        fail("baseline has no gated metrics")
+    geomean = math.exp(sum(math.log(max(r, 1e-12)) for _, r in ratios) / len(ratios))
+    print(f"geomean over {len(ratios)} gated metrics: x{geomean:.3f} (worst {worst[0]}: x{worst[1]:.3f})")
+    if geomean < 1.0 - args.tolerance:
+        fail(f"geomean regression x{geomean:.3f} exceeds tolerance {args.tolerance:.0%}")
+    bad = [(m, r) for m, r in ratios if r < 1.0 - args.metric_tolerance]
+    if bad:
+        fail("single-metric collapse: " + ", ".join(f"{m} x{r:.3f}" for m, r in bad))
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

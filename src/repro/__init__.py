@@ -19,6 +19,8 @@ The package is organised bottom-up (see DESIGN.md):
 * :mod:`repro.backends` — execution backends behind one
   :class:`ExecutionBackend` contract (reference / scipy / vectorized /
   sharded); the single kernel-dispatch path.
+* :mod:`repro.obs` — zero-dependency tracing + metrics layer (spans,
+  sinks, streaming percentiles); strictly opt-in, disabled by default.
 """
 
 from .backends import ExecutionBackend, ExecutionContext
@@ -31,9 +33,10 @@ from .core import (
     spgemm_topk_similarity,
 )
 from .engine import ExecutionPlan, SpGEMMEngine
+from .obs import JsonlSink, RingSink, Tracer
 from .pipeline import PipelineSpec
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "COOMatrix",
@@ -47,5 +50,8 @@ __all__ = [
     "PipelineSpec",
     "ExecutionBackend",
     "ExecutionContext",
+    "Tracer",
+    "RingSink",
+    "JsonlSink",
     "__version__",
 ]

@@ -187,6 +187,12 @@ def execute(
     be = get_backend(backend, backend_params)
     if ctx is None:
         ctx = ExecutionContext(cfg=cfg)
+    tracer = ctx.tracer
+    if tracer is not None and tracer.enabled:
+        with tracer.span("backend.execute", backend=backend, kernel=kernel):
+            return be.execute(
+                operand, B, kernel=kernel, kernel_params=dict(kernel_params or {}), ctx=ctx
+            )
     return be.execute(operand, B, kernel=kernel, kernel_params=dict(kernel_params or {}), ctx=ctx)
 
 

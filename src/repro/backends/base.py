@@ -60,12 +60,19 @@ class ExecutionContext:
         Caller-suggested parallel width (``None`` = backend default).
     scratch:
         Backend-private workspace surviving across executions.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`: when set (and enabled),
+        :func:`repro.backends.execute` wraps each dispatch in a
+        ``backend.execute`` span tagged with backend and kernel — the
+        per-backend phase timing of DESIGN.md §12.  ``None`` (default)
+        keeps dispatch span-free.
     """
 
     cfg: Any = None
     stats: dict[str, int] = field(default_factory=dict)
     workers: int | None = None
     scratch: dict[str, Any] = field(default_factory=dict)
+    tracer: Any = None
 
     def bump(self, key: str, n: int = 1) -> None:
         """Accumulate a named counter."""

@@ -18,7 +18,7 @@ from .adaptive import (
     DriftMonitor,
     calibration_path,
 )
-from .engine import EngineStats, SpGEMMEngine
+from .engine import REPLAN_LOG_CAP, EngineStats, SpGEMMEngine
 from .fingerprint import MatrixFingerprint, feature_distance, fingerprint, value_digest
 from .plan import ExecutionPlan
 from .plan_cache import PlanCache, plan_cache_dir
@@ -41,6 +41,7 @@ from .planner import (
 __all__ = [
     "SpGEMMEngine",
     "EngineStats",
+    "REPLAN_LOG_CAP",
     "ExecutionPlan",
     "PlanCache",
     "plan_cache_dir",

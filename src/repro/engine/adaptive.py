@@ -406,6 +406,11 @@ class BackendCalibrator:
     backends:
         Backend names to calibrate; default = every planner-ranked
         backend (the ones ``backend="auto"`` may pick).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`: an enabled tracer wraps the
+        whole run in a ``calibration.calibrate`` span and emits one
+        ``calibration.sample`` event per measured (matrix, kernel,
+        backend) cell (DESIGN.md §12).
     """
 
     #: (kernel, preparation spec) pairs each backend is timed on.
@@ -414,12 +419,22 @@ class BackendCalibrator:
         ("cluster", "original+fixed:8+cluster"),
     )
 
-    def __init__(self, *, reps: int = 3, seed: int = 0, backends: tuple[str, ...] | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        reps: int = 3,
+        seed: int = 0,
+        backends: tuple[str, ...] | None = None,
+        tracer=None,
+    ) -> None:
+        from ..obs import NOOP_TRACER
+
         if reps < 1:
             raise ValueError(f"reps must be >= 1, got {reps}")
         self.reps = int(reps)
         self.seed = int(seed)
         self._backends = backends
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     def backends(self) -> tuple[str, ...]:
         if self._backends is not None:
@@ -448,18 +463,28 @@ class BackendCalibrator:
         from ..pipeline import PipelineSpec
 
         samples: dict[str, list[float]] = {}
-        for _label, A in _calibration_matrices(self.seed):
-            nnz_row = A.nnz / max(1, A.nrows)
-            density = A.nnz / max(1, A.nrows * A.ncols)
-            for kernel, spec_text in self.KERNEL_SPECS:
-                built = PipelineSpec.parse(spec_text).build(A)
-                t_ref = self._time_execution(built, A, "reference")
-                for backend in self.backends():
-                    if backend == "reference" or not backend_supports(backend, (), kernel):
-                        continue
-                    seconds = self._time_execution(built, A, backend)
-                    key = _bin_key(backend, kernel, A.nrows, nnz_row, density)
-                    samples.setdefault(key, []).append(seconds / t_ref if t_ref > 0 else 1.0)
+        cal_span = self.tracer.span("calibration.calibrate", reps=self.reps)
+        with cal_span:
+            for _label, A in _calibration_matrices(self.seed):
+                nnz_row = A.nnz / max(1, A.nrows)
+                density = A.nnz / max(1, A.nrows * A.ncols)
+                for kernel, spec_text in self.KERNEL_SPECS:
+                    built = PipelineSpec.parse(spec_text).build(A)
+                    t_ref = self._time_execution(built, A, "reference")
+                    for backend in self.backends():
+                        if backend == "reference" or not backend_supports(backend, (), kernel):
+                            continue
+                        seconds = self._time_execution(built, A, backend)
+                        key = _bin_key(backend, kernel, A.nrows, nnz_row, density)
+                        samples.setdefault(key, []).append(seconds / t_ref if t_ref > 0 else 1.0)
+                        self.tracer.event(
+                            "calibration.sample",
+                            matrix=_label,
+                            backend=backend,
+                            kernel=kernel,
+                            seconds=seconds,
+                        )
+            cal_span.tag(bins=len(samples))
         entries = {
             key: math.exp(sum(math.log(max(v, 1e-12)) for v in vals) / len(vals))
             for key, vals in samples.items()

@@ -29,14 +29,16 @@ Typical use::
 
 from __future__ import annotations
 
+import math
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 
 from ..backends import ExecutionContext, execute as backend_execute
 from ..core.csr import CSRMatrix
 from ..experiments.config import ExperimentConfig
 from ..machine import SimulatedMachine
+from ..obs import NOOP_TRACER, Tracer
 from ..pipeline import PipelineSpec, get_component
 from .adaptive import AdaptiveConfig, BackendCalibrator, CalibrationTable, DriftMonitor
 from .fingerprint import MatrixFingerprint, fingerprint, pattern_digest, value_digest
@@ -44,7 +46,12 @@ from .plan import ExecutionPlan
 from .plan_cache import PlanCache
 from .planner import Planner, PreparedOperand, make_planner
 
-__all__ = ["SpGEMMEngine", "EngineStats"]
+__all__ = ["SpGEMMEngine", "EngineStats", "REPLAN_LOG_CAP"]
+
+#: Ring-buffer capacity of :attr:`EngineStats.replan_log` — a long-lived
+#: engine keeps the most recent re-plan events instead of growing an
+#: unbounded list (older events fall off the front).
+REPLAN_LOG_CAP = 256
 
 
 @dataclass
@@ -76,6 +83,10 @@ class EngineStats:
     drift_detected: int = 0  # probes outside the drift band
     replans: int = 0  # drift-triggered plan rebuilds
     warm_starts: int = 0  # cold lookups seeded from a cached neighbour
+    # Cache hits served by a plan ranked under an older calibration
+    # epoch than the planner's current one — the replay report's
+    # calibration-staleness numerator.
+    stale_plan_serves: int = 0
     # Model units spent *measuring* executed cost.  Deliberately outside
     # invested_cost: a real runtime reads executed cost off a timer for
     # free — the simulation stand-in must not distort the paper-facing
@@ -83,7 +94,10 @@ class EngineStats:
     model_probe_cost: float = 0.0
     per_plan: dict = field(default_factory=dict)  # plan label → multiply count
     backend_events: dict = field(default_factory=dict)  # ExecutionContext counters
-    replan_log: list = field(default_factory=list)  # drift re-plan events (dicts)
+    # Drift re-plan events (dicts), bounded: a long-lived engine under a
+    # churning workload re-plans indefinitely, so the log is a ring
+    # buffer keeping the most recent REPLAN_LOG_CAP events.
+    replan_log: "deque" = field(default_factory=lambda: deque(maxlen=REPLAN_LOG_CAP))
 
     # ------------------------------------------------------------------
     @property
@@ -118,16 +132,35 @@ class EngineStats:
             return float("inf") if self.cumulative_gain > 0 else 0.0
         return self.cumulative_gain / self.invested_cost
 
-    def as_dict(self) -> dict:
-        from dataclasses import asdict
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot: every counter field plus the
+        derived amortisation metrics.
 
-        return {
-            **asdict(self),
-            "invested_cost": self.invested_cost,
-            "cumulative_gain": self.cumulative_gain,
-            "break_even_iterations": self.break_even_iterations(),
-            "amortization_progress": self.amortization_progress(),
-        }
+        Containers are copied (``replan_log`` becomes a plain list) and
+        non-finite derived values map to ``None``, so the result passes
+        ``json.dumps`` under strict (``allow_nan=False``) settings — the
+        machine-readable contract behind the CLI's ``--stats-json``.
+        """
+        from dataclasses import fields
+
+        def _json_safe(v):
+            if isinstance(v, deque):
+                return list(v)
+            if isinstance(v, dict):
+                return dict(v)
+            if isinstance(v, float) and not math.isfinite(v):
+                return None
+            return v
+
+        d = {f.name: _json_safe(getattr(self, f.name)) for f in fields(self)}
+        d["invested_cost"] = _json_safe(self.invested_cost)
+        d["cumulative_gain"] = _json_safe(self.cumulative_gain)
+        d["break_even_iterations"] = _json_safe(self.break_even_iterations())
+        d["amortization_progress"] = _json_safe(self.amortization_progress())
+        return d
+
+    #: Backwards-compatible alias (pre-observability name).
+    as_dict = to_dict
 
     def summary(self) -> str:
         be = self.break_even_iterations()
@@ -229,6 +262,17 @@ class SpGEMMEngine:
     fingerprint_cache_size:
         Capacity of the fingerprint memo LRU (feature sketches keyed by
         pattern digest).
+    tracer:
+        Optional :class:`~repro.obs.Tracer` (DESIGN.md §12).  An enabled
+        tracer records ``engine.multiply`` / ``engine.multiply_many`` /
+        ``engine.power`` spans (per-request latency, tagged with the
+        plan label, backend and plan-cache hit/miss), ``planner.plan`` /
+        ``planner.trial`` spans, ``backend.execute`` spans through the
+        shared :class:`~repro.backends.ExecutionContext`, plan-cache
+        put/evict/warm-hint events and adaptive probe/drift/replan
+        events.  ``None`` (default) installs the shared no-op tracer:
+        no spans, no allocations, behaviour identical to an
+        uninstrumented engine.
     """
 
     def __init__(
@@ -250,6 +294,7 @@ class SpGEMMEngine:
         adaptive: AdaptiveConfig | None = None,
         warm_start: bool = False,
         fingerprint_cache_size: int = 64,
+        tracer: "Tracer | None" = None,
     ) -> None:
         from ..experiments.runner import machine_for
 
@@ -257,6 +302,7 @@ class SpGEMMEngine:
         self.machine = machine or machine_for(self.cfg)
         self.seed = int(seed)
         self.backend = backend
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.calibration = self._resolve_calibration(calibration)
         if drift_threshold is not None:
             base = adaptive or AdaptiveConfig()
@@ -272,6 +318,7 @@ class SpGEMMEngine:
             seed=self.seed,
             backend=backend,
             calibration=self.calibration,
+            tracer=self.tracer,
         )
         if policy == "predictor":
             kw["predictor"] = predictor
@@ -285,13 +332,17 @@ class SpGEMMEngine:
         self.planner: Planner = make_planner(policy, **kw)
         self.policy = policy
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(persist=persist_plans)
+        if self.tracer.enabled and not self.plan_cache.tracer.enabled:
+            # Attach the engine's tracer to its cache (shared caches keep
+            # whichever enabled tracer reached them first).
+            self.plan_cache.tracer = self.tracer
         self._operands: "OrderedDict[tuple, PreparedOperand]" = OrderedDict()
         self._operand_cap = max(1, int(operand_cache_size))
         self._fingerprints: "OrderedDict[str, MatrixFingerprint]" = OrderedDict()
         self._fingerprint_cap = max(1, int(fingerprint_cache_size))
         self._pipeline_planners: dict[str, Planner] = {}
         self._backend_planners: dict[str, Planner] = {}
-        self._exec_ctx = ExecutionContext(cfg=self.cfg)
+        self._exec_ctx = ExecutionContext(cfg=self.cfg, tracer=self.tracer)
         self._stats = EngineStats()
 
     @staticmethod
@@ -376,6 +427,7 @@ class SpGEMMEngine:
                     machine=self.machine,
                     seed=self.seed,
                     calibration=self.calibration,
+                    tracer=self.tracer,
                 )
                 self._pipeline_planners[key] = planner
             return planner
@@ -392,6 +444,7 @@ class SpGEMMEngine:
                 seed=self.seed,
                 backend=backend,
                 calibration=self.calibration,
+                tracer=self.tracer,
             )
             if self.policy == "autotune":
                 kw["top_k"] = self.planner.top_k
@@ -456,6 +509,8 @@ class SpGEMMEngine:
         if plan is not None:
             if count_lookup:
                 self._stats.plan_cache_hits += 1
+                if plan.calibration_epoch != planner.calibration_epoch:
+                    self._stats.stale_plan_serves += 1
         else:
             if count_lookup:
                 self._stats.plan_cache_misses += 1
@@ -552,6 +607,31 @@ class SpGEMMEngine:
         (a non-bitwise backend returns pattern-identical ``allclose``
         results instead).
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._multiply(A, B, workload=workload, pipeline=pipeline, backend=backend)[0]
+        hits0 = self._stats.plan_cache_hits
+        with tracer.span("engine.multiply", n=A.nrows, nnz=A.nnz) as sp:
+            C, plan = self._multiply(A, B, workload=workload, pipeline=pipeline, backend=backend)
+            sp.tag(
+                cache="hit" if self._stats.plan_cache_hits > hits0 else "miss",
+                plan=plan.label,
+                backend=plan.backend,
+                workload=plan.workload,
+            )
+        return C
+
+    def _multiply(
+        self,
+        A: CSRMatrix,
+        B: CSRMatrix | None,
+        *,
+        workload: str | None,
+        pipeline: "PipelineSpec | str | None",
+        backend: str | None,
+    ) -> "tuple[CSRMatrix, ExecutionPlan]":
+        """:meth:`multiply`'s body; also returns the executed plan so
+        the tracing wrapper can tag its span without a second lookup."""
         Bx = A if B is None else B
         if A.ncols != Bx.nrows:
             raise ValueError(f"inner dimensions differ: {A.shape} x {Bx.shape}")
@@ -566,7 +646,7 @@ class SpGEMMEngine:
         C = self._execute(plan, prep, Bx)
         if self._drift is not None:
             self._observe_drift(A, Bx, plan, prep, workload=workload, planner=planner, fp=fp, key=key)
-        return C
+        return C, plan
 
     def _execute(self, plan: ExecutionPlan, prep: PreparedOperand, Bx: CSRMatrix) -> CSRMatrix:
         """Run the plan through its execution backend and record the
@@ -648,10 +728,24 @@ class SpGEMMEngine:
         self._stats.drift_probes += 1
         self._stats.model_probe_cost += executed  # measured, not invested
         decision = monitor.observe(key, predicted=plan.predicted_cost, executed=executed)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "adaptive.probe", plan=plan.label, ratio=decision.ratio, drifted=decision.drifted
+            )
+            if decision.drifted:
+                self.tracer.event("adaptive.drift", plan=plan.label, ratio=decision.ratio)
         if decision.drifted:
             self._stats.drift_detected += 1
         if decision.replan:
             new_plan = planner.plan(A, Bx, fp, workload)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "adaptive.replan",
+                    src=plan.label,
+                    dst=new_plan.label,
+                    predicted=plan.predicted_cost,
+                    executed=executed,
+                )
             self.plan_cache.put(key, new_plan, features=fp.features)
             monitor.notify_replanned(key)
             self._stats.replans += 1
@@ -708,6 +802,27 @@ class SpGEMMEngine:
         operand reuse) in the ledger, matching what per-call
         :meth:`multiply` would have recorded.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._multiply_many(A, Bs, workload=workload, pipeline=pipeline, backend=backend)
+        Bs = list(Bs)
+        built0 = self._stats.plans_built
+        with tracer.span("engine.multiply_many", n=A.nrows, nnz=A.nnz, batch=len(Bs)) as sp:
+            out = self._multiply_many(A, Bs, workload=workload, pipeline=pipeline, backend=backend)
+            # Batch reuses inflate plan_cache_hits by construction, so the
+            # hit/miss tag keys off whether a fresh plan had to be built.
+            sp.tag(cache="miss" if self._stats.plans_built > built0 else "hit")
+        return out
+
+    def _multiply_many(
+        self,
+        A: CSRMatrix,
+        Bs,
+        *,
+        workload: str | None,
+        pipeline: "PipelineSpec | str | None",
+        backend: str | None,
+    ) -> list[CSRMatrix]:
         Bs = list(Bs)
         if not Bs:
             return []
@@ -740,6 +855,13 @@ class SpGEMMEngine:
         prepared operand serve all ``exponent - 1`` multiplies (resolved
         once, like :meth:`multiply_many`).
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("engine.power", n=A.nrows, nnz=A.nnz, exponent=exponent):
+                return self._power(A, exponent)
+        return self._power(A, exponent)
+
+    def _power(self, A: CSRMatrix, exponent: int) -> CSRMatrix:
         if exponent < 1:
             raise ValueError("exponent must be >= 1")
         if A.nrows != A.ncols:
@@ -769,7 +891,7 @@ class SpGEMMEngine:
 
     def reset_stats(self) -> None:
         self._stats = EngineStats()
-        self._exec_ctx = ExecutionContext(cfg=self.cfg)
+        self._exec_ctx = ExecutionContext(cfg=self.cfg, tracer=self.tracer)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

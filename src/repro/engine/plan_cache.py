@@ -96,6 +96,8 @@ class PlanCache:
             raise ValueError("capacity must be >= 1")
         if eviction not in ("cost", "lru"):
             raise ValueError(f"eviction must be 'cost' or 'lru', got {eviction!r}")
+        from ..obs import NOOP_TRACER
+
         self.capacity = int(capacity)
         self.persist = bool(persist)
         self.eviction = eviction
@@ -104,6 +106,11 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.disk_hits = 0
+        #: Observability hook (DESIGN.md §12): an enabled tracer receives
+        #: ``plan_cache.put`` / ``plan_cache.evict`` / ``plan_cache.warm_hint``
+        #: events.  The engine attaches its own tracer when it owns one;
+        #: the default no-op tracer emits nothing.
+        self.tracer = NOOP_TRACER
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -166,6 +173,10 @@ class PlanCache:
         features of the pattern it was planned for (the warm-start
         neighbour coordinates)."""
         entry = _Entry(plan, None if features is None else tuple(float(x) for x in features))
+        if self.tracer.enabled:
+            self.tracer.event(
+                "plan_cache.put", plan=plan.label, replaced=key in self._entries
+            )
         self._insert(key, entry)
         self._store_disk(key, entry)
 
@@ -194,6 +205,12 @@ class PlanCache:
                 (k for k in self._entries if k != protect),
                 key=lambda k: self._entries[k].replan_cost,
             )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "plan_cache.evict",
+                plan=self._entries[victim].plan.label,
+                policy=self.eviction,
+            )
         del self._entries[victim]
         self.evictions += 1
 
@@ -218,6 +235,8 @@ class PlanCache:
             d = feature_distance(features, entry.features)
             if d < best_d:
                 best, best_d = entry.plan, d
+        if best is not None and self.tracer.enabled:
+            self.tracer.event("plan_cache.warm_hint", plan=best.label, distance=best_d)
         return best
 
     # ------------------------------------------------------------------

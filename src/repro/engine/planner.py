@@ -415,13 +415,19 @@ class Planner:
         reorderings: tuple[str, ...] | None = None,
         backend: "str | tuple | None" = None,
         calibration=None,
+        tracer=None,
     ) -> None:
         from ..experiments.runner import machine_for  # local: avoid import cycle at module load
+        from ..obs import NOOP_TRACER
 
         self.cfg = cfg or ExperimentConfig()
         self.machine = machine or machine_for(self.cfg)
         self.seed = int(seed)
         self.reorderings = planner_reorderings() if reorderings is None else tuple(reorderings)
+        #: Observability hook (DESIGN.md §12): an enabled tracer wraps
+        #: :meth:`plan` in a ``planner.plan`` span and every candidate
+        #: measurement in a ``planner.trial`` span.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         #: Optional CalibrationTable: measured backend speed factors
         #: replace the static model_speed_factor hints wherever the
         #: planner ranks or measures along the backend axis.
@@ -549,21 +555,22 @@ class Planner:
         ``reference``), mirroring that the same dataflow runs faster on
         a native implementation.
         """
-        cluster_operand = get_component("kernel", cand.kernel).requires_clustering
-        prep = prepare_candidate(
-            A,
-            cand.reordering,
-            cand.clustering,
-            self.cfg,
-            self.machine.cost,
-            seed=self.seed,
-            cluster_operand=cluster_operand,
-        )
-        if cluster_operand:
-            res = self.machine.run_clusterwise(prep.Ac, B)
-        else:
-            res = self.machine.run_rowwise(prep.Ar, B)
-        return res.time * self._backend_factor(cand.backend, kernel=cand.kernel, A=A), prep
+        with self.tracer.span("planner.trial", candidate=cand.label):
+            cluster_operand = get_component("kernel", cand.kernel).requires_clustering
+            prep = prepare_candidate(
+                A,
+                cand.reordering,
+                cand.clustering,
+                self.cfg,
+                self.machine.cost,
+                seed=self.seed,
+                cluster_operand=cluster_operand,
+            )
+            if cluster_operand:
+                res = self.machine.run_clusterwise(prep.Ac, B)
+            else:
+                res = self.machine.run_rowwise(prep.Ar, B)
+            return res.time * self._backend_factor(cand.backend, kernel=cand.kernel, A=A), prep
 
     def _baseline(self, A: CSRMatrix, B: CSRMatrix) -> float:
         return self.machine.run_rowwise(A, B).time
@@ -702,18 +709,20 @@ class Planner:
             self._warm = warm_start
         else:
             self._warm = self.warm_candidate(warm_start, A)
-        try:
-            baseline = self._baseline(A, B)
-            cand, predicted, prep, trial_cost = self._select(A, B, fp, baseline)
-        finally:
-            self._warm = None
-        self._winner_prep = prep  # engine picks this up via take_prepared()
-        # Planning charged: every simulation the planner ran — the
-        # baseline, the winner's measurement, and any extra trials.
-        planning = baseline + predicted + trial_cost
-        return self._assemble(
-            cand, prep, fp, workload, predicted=predicted, baseline=baseline, planning=planning
-        )
+        with self.tracer.span("planner.plan", policy=self.name, workload=workload) as sp:
+            try:
+                baseline = self._baseline(A, B)
+                cand, predicted, prep, trial_cost = self._select(A, B, fp, baseline)
+            finally:
+                self._warm = None
+            self._winner_prep = prep  # engine picks this up via take_prepared()
+            sp.tag(plan=cand.label)
+            # Planning charged: every simulation the planner ran — the
+            # baseline, the winner's measurement, and any extra trials.
+            planning = baseline + predicted + trial_cost
+            return self._assemble(
+                cand, prep, fp, workload, predicted=predicted, baseline=baseline, planning=planning
+            )
 
 
 class HeuristicPlanner(Planner):

@@ -161,11 +161,25 @@ def engine_demo(args) -> str:
     ``--drift-threshold`` arms drift-triggered re-planning, and
     ``--drift-demo`` exercises it end-to-end by degrading the right
     operand's value profile mid-run (DESIGN.md §11).
+
+    Observability flags (DESIGN.md §12): ``--replay N`` runs a seeded
+    synthetic trace of N requests through the engine instead of the
+    demo loop and prints the structured replay report; ``--trace PATH``
+    streams every span the engine emits to a JSONL file;
+    ``--stats-json PATH`` writes the final ledger snapshot
+    (``EngineStats.to_dict``) as JSON.
     """
     from ..engine import SpGEMMEngine
     from ..matrices import get_matrix, perturb_values
     from ..pipeline import PipelineSpec
 
+    tracer = None
+    trace_sink = None
+    if args.trace:
+        from ..obs import JsonlSink, Tracer
+
+        trace_sink = JsonlSink(args.trace)
+        tracer = Tracer(trace_sink)
     A = get_matrix(args.matrix)
     backend = args.backend or None
     lines = []
@@ -181,7 +195,7 @@ def engine_demo(args) -> str:
     drift_threshold = args.drift_threshold
     if args.drift_demo and drift_threshold is None:
         drift_threshold = 1.5  # the demo is pointless with the monitor unarmed
-    adaptive_kw = dict(calibration=calibration, drift_threshold=drift_threshold)
+    adaptive_kw = dict(calibration=calibration, drift_threshold=drift_threshold, tracer=tracer)
     if args.pipeline:
         spec = PipelineSpec.parse(args.pipeline)
         eng = SpGEMMEngine(pipeline=spec, backend=backend, config=ExperimentConfig(), **adaptive_kw)
@@ -191,6 +205,10 @@ def engine_demo(args) -> str:
         chosen = f"policy={args.policy}"
         if backend:
             chosen += f", backend={backend}"
+    if args.replay:
+        _engine_replay(args, eng, lines)
+        _finish_obs(args, eng, trace_sink, lines)
+        return "\n".join(lines)
     iters = max(1, args.iters)
     if args.drift_demo:
         # Drift scenario: plan against a value-twin of A, then keep
@@ -224,7 +242,40 @@ def engine_demo(args) -> str:
         "",
         eng.stats().summary(),
     ]
+    _finish_obs(args, eng, trace_sink, lines)
     return "\n".join(lines)
+
+
+def _engine_replay(args, eng, lines) -> None:
+    """The ``engine --replay N`` path: synthesise a seeded trace, replay
+    it through the already-configured engine, report the result."""
+    import json
+
+    from ..workloads import synthesize_trace, replay
+
+    trace = synthesize_trace(requests=args.replay, seed=args.replay_seed)
+    lines.append(
+        f"replaying {args.replay} requests (seed {args.replay_seed}, "
+        f"population {trace.spec.population}) ..."
+    )
+    report = replay(trace, eng, progress=lambda done, total: print(f"  {done}/{total}", file=sys.stderr))
+    lines.append(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    lines.append(f"wall clock: {report.wall_seconds:.2f}s (excluded from the report above)")
+
+
+def _finish_obs(args, eng, trace_sink, lines) -> None:
+    """Shared tail of the ``engine`` command: flush the JSONL trace and
+    write the ``--stats-json`` ledger snapshot."""
+    import json
+
+    if trace_sink is not None:
+        trace_sink.flush()
+        trace_sink.close()
+        lines.append(f"trace written: {args.trace}")
+    if args.stats_json:
+        with open(args.stats_json, "w") as fh:
+            json.dump(eng.stats().to_dict(), fh, indent=2, sort_keys=True)
+        lines.append(f"stats written: {args.stats_json}")
 
 
 def pipelines_cmd(args) -> str:
@@ -292,6 +343,35 @@ def main(argv: list[str] | None = None) -> int:
         metavar="RATIO",
         help="arm drift-triggered re-planning: re-trial the plan (including backend "
         "choice) when executed/predicted cost repeatedly leaves [1/RATIO, RATIO]",
+    )
+    parser.add_argument(
+        "--replay",
+        type=int,
+        default=None,
+        metavar="N",
+        help="engine command: replay a seeded synthetic trace of N requests "
+        "(Zipf popularity, bursts, pattern churn) through the configured engine "
+        "and print the structured report instead of the demo loop",
+    )
+    parser.add_argument(
+        "--replay-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="trace seed for --replay (same seed, same trace, same report)",
+    )
+    parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="engine command: write the final EngineStats snapshot as JSON to PATH",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="engine command: stream every span/event the engine emits to PATH "
+        "as JSON lines (inspect with jq or python -m json.tool)",
     )
     parser.add_argument(
         "--drift-demo",

@@ -1,8 +1,28 @@
 """Evaluation workloads: ``A²`` (paper §4.2–4.3) and square × tall-skinny
-BC frontiers (paper §4.4), plus the end-to-end BC application."""
+BC frontiers (paper §4.4), the end-to-end BC application, and the
+trace-replay harness (DESIGN.md §12)."""
 
 from .asquare import ASquareWorkload
 from .bc import betweenness_centrality
+from .replay import (
+    ReplayReport,
+    Trace,
+    TraceRequest,
+    TraceSpec,
+    replay,
+    synthesize_trace,
+)
 from .tallskinny import FrontierSequence, bc_frontiers
 
-__all__ = ["ASquareWorkload", "FrontierSequence", "bc_frontiers", "betweenness_centrality"]
+__all__ = [
+    "ASquareWorkload",
+    "FrontierSequence",
+    "bc_frontiers",
+    "betweenness_centrality",
+    "TraceSpec",
+    "TraceRequest",
+    "Trace",
+    "ReplayReport",
+    "synthesize_trace",
+    "replay",
+]

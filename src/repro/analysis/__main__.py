@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.analysis [--format json] [paths...]``."""
+
+import sys
+
+from .checks.cli import main
+
+sys.exit(main())

@@ -1,0 +1,66 @@
+"""Human and JSON reporters for analysis findings.
+
+The JSON form is a schema-versioned envelope in the same spirit as the
+``BENCH_*.json`` artefacts (``benchmarks/_common.py``): a ``schema``
+integer CI can refuse when it does not understand it, a tool name, the
+scan summary and the findings themselves (suppressed ones included, with
+their reasons — the suppression audit trail is part of the output).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from .framework import Finding
+
+__all__ = ["SCHEMA_VERSION", "render_human", "render_json"]
+
+#: Version of the analysis-report envelope.  Bump when the layout
+#: changes; consumers (CI asserts, tests) refuse unknown versions.
+SCHEMA_VERSION = 1
+
+
+def _summary(findings: Sequence[Finding], files: int) -> dict:
+    active = [f for f in findings if not f.suppressed]
+    by_rule: dict[str, int] = {}
+    for f in active:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    return {
+        "files": files,
+        "findings": len(active),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "by_rule": {k: by_rule[k] for k in sorted(by_rule)},
+    }
+
+
+def render_json(
+    findings: Sequence[Finding], files: int, *, rules: Mapping[str, str] = ()
+) -> str:
+    envelope = {
+        "schema": SCHEMA_VERSION,
+        "tool": "repro.analysis",
+        "rules": dict(rules),
+        "summary": _summary(findings, files),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(envelope, indent=2, sort_keys=True)
+
+
+def render_human(
+    findings: Sequence[Finding], files: int, *, show_suppressed: bool = False
+) -> str:
+    lines: list[str] = []
+    for f in findings:
+        if f.suppressed and not show_suppressed:
+            continue
+        mark = "" if not f.suppressed else f" [suppressed: {f.suppression_reason or '?'}]"
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}{mark}")
+    s = _summary(findings, files)
+    verdict = "OK" if s["findings"] == 0 else "FAIL"
+    per_rule = ", ".join(f"{k}={v}" for k, v in s["by_rule"].items()) or "none"
+    lines.append(
+        f"static analysis: {verdict} — {s['files']} files, "
+        f"{s['findings']} findings ({per_rule}), {s['suppressed']} suppressed"
+    )
+    return "\n".join(lines)

@@ -25,11 +25,10 @@ from __future__ import annotations
 
 import json
 import math
-import warnings
 from dataclasses import asdict, dataclass, replace
 from typing import Any
 
-__all__ = ["ExecutionPlan", "CLUSTERINGS", "KERNELS", "backend_label_suffix"]
+__all__ = ["ExecutionPlan", "backend_label_suffix"]
 
 
 def backend_label_suffix(backend: str, backend_params: tuple = ()) -> str:
@@ -47,25 +46,6 @@ def backend_label_suffix(backend: str, backend_params: tuple = ()) -> str:
     return suffix
 
 _ACCUMULATORS = ("sort", "dense", "hash")
-
-
-def __getattr__(name: str):
-    # Deprecated: the valid component names live in the unified pipeline
-    # registry now, so registering a new clustering or kernel makes it
-    # plan-valid without touching this module.
-    if name in ("CLUSTERINGS", "KERNELS"):
-        warnings.warn(
-            f"repro.engine.plan.{name} is deprecated; query "
-            "repro.pipeline.available_components('clustering' / 'kernel') instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from ..pipeline import available_components
-
-        if name == "CLUSTERINGS":
-            return (None, *available_components("clustering"))
-        return tuple(available_components("kernel"))
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)

@@ -46,7 +46,6 @@ capturing the cross-row ``B``-reuse locality that reordering buys
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace as _dc_replace
 from functools import lru_cache
 
@@ -100,36 +99,6 @@ def planner_reorderings() -> tuple[str, ...]:
 def _family(reordering: str) -> str:
     """The registry's family affinity tag for one reordering."""
     return get_component("reordering", reordering).family
-
-
-_DEPRECATED = {
-    "PLANNER_REORDERINGS": (
-        "repro.engine.planner.planner_reorderings()",
-        lambda: planner_reorderings(),
-    ),
-    "_BANDWIDTH_ALGOS": (
-        "repro.pipeline.components('reordering', family='bandwidth')",
-        lambda: frozenset(c.name for c in components("reordering", family="bandwidth")),
-    ),
-    "_HUB_ALGOS": (
-        "repro.pipeline.components('reordering', family='hub')",
-        lambda: frozenset(c.name for c in components("reordering", family="hub")),
-    ),
-}
-
-
-def __getattr__(name: str):
-    # Legacy module constants, now derived from the pipeline registry so
-    # they can never drift from what is actually registered.
-    if name in _DEPRECATED:
-        hint, value = _DEPRECATED[name]
-        warnings.warn(
-            f"repro.engine.planner.{name} is deprecated; use {hint} instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return value()
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -555,22 +524,27 @@ class Planner:
         ``reference``), mirroring that the same dataflow runs faster on
         a native implementation.
         """
+        if not self.tracer.enabled:
+            return self._measure_impl(A, B, cand)
         with self.tracer.span("planner.trial", candidate=cand.label):
-            cluster_operand = get_component("kernel", cand.kernel).requires_clustering
-            prep = prepare_candidate(
-                A,
-                cand.reordering,
-                cand.clustering,
-                self.cfg,
-                self.machine.cost,
-                seed=self.seed,
-                cluster_operand=cluster_operand,
-            )
-            if cluster_operand:
-                res = self.machine.run_clusterwise(prep.Ac, B)
-            else:
-                res = self.machine.run_rowwise(prep.Ar, B)
-            return res.time * self._backend_factor(cand.backend, kernel=cand.kernel, A=A), prep
+            return self._measure_impl(A, B, cand)
+
+    def _measure_impl(self, A: CSRMatrix, B: CSRMatrix, cand: Candidate) -> tuple[float, PreparedOperand]:
+        cluster_operand = get_component("kernel", cand.kernel).requires_clustering
+        prep = prepare_candidate(
+            A,
+            cand.reordering,
+            cand.clustering,
+            self.cfg,
+            self.machine.cost,
+            seed=self.seed,
+            cluster_operand=cluster_operand,
+        )
+        if cluster_operand:
+            res = self.machine.run_clusterwise(prep.Ac, B)
+        else:
+            res = self.machine.run_rowwise(prep.Ar, B)
+        return res.time * self._backend_factor(cand.backend, kernel=cand.kernel, A=A), prep
 
     def _baseline(self, A: CSRMatrix, B: CSRMatrix) -> float:
         return self.machine.run_rowwise(A, B).time
@@ -709,20 +683,26 @@ class Planner:
             self._warm = warm_start
         else:
             self._warm = self.warm_candidate(warm_start, A)
+        if not self.tracer.enabled:
+            return self._plan_impl(A, B, fp, workload, sp=None)
         with self.tracer.span("planner.plan", policy=self.name, workload=workload) as sp:
-            try:
-                baseline = self._baseline(A, B)
-                cand, predicted, prep, trial_cost = self._select(A, B, fp, baseline)
-            finally:
-                self._warm = None
-            self._winner_prep = prep  # engine picks this up via take_prepared()
+            return self._plan_impl(A, B, fp, workload, sp=sp)
+
+    def _plan_impl(self, A, B, fp, workload, *, sp) -> ExecutionPlan:
+        try:
+            baseline = self._baseline(A, B)
+            cand, predicted, prep, trial_cost = self._select(A, B, fp, baseline)
+        finally:
+            self._warm = None
+        self._winner_prep = prep  # engine picks this up via take_prepared()
+        if sp is not None:
             sp.tag(plan=cand.label)
-            # Planning charged: every simulation the planner ran — the
-            # baseline, the winner's measurement, and any extra trials.
-            planning = baseline + predicted + trial_cost
-            return self._assemble(
-                cand, prep, fp, workload, predicted=predicted, baseline=baseline, planning=planning
-            )
+        # Planning charged: every simulation the planner ran — the
+        # baseline, the winner's measurement, and any extra trials.
+        planning = baseline + predicted + trial_cost
+        return self._assemble(
+            cand, prep, fp, workload, predicted=predicted, baseline=baseline, planning=planning
+        )
 
 
 class HeuristicPlanner(Planner):

@@ -243,9 +243,11 @@ def threaded_spgemm_rowwise(A: CSRMatrix, B: CSRMatrix, *, n_threads: int = 2) -
 
     def run_chunk(rows: np.ndarray):
         sub = A.extract_rows(rows)
+        # repro: allow[RA001] threaded kernel implementation: the per-chunk body of the registered threaded_spgemm_rowwise kernel itself
         return spgemm_rowwise(sub, B, two_phase=False)
 
     if len(chunks) <= 1:
+        # repro: allow[RA001] single-chunk fall-through inside the threaded kernel's own implementation
         return spgemm_rowwise(A, B, two_phase=False)
     with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
         parts = list(pool.map(run_chunk, chunks))

@@ -47,5 +47,6 @@ class ASquareWorkload:
         """Actually execute ``A @ A`` (used by examples and wall-clock
         benches; the simulated machine handles the model path)."""
         stats = SpGEMMStats()
+        # repro: allow[RA001] the workload's reference oracle: deliberately the raw kernel, the baseline every pipeline is compared against
         C = spgemm_rowwise(self.A, self.A, accumulator=accumulator, stats=stats)
         return C, stats

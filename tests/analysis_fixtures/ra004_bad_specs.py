@@ -1,0 +1,11 @@
+"""RA004 violations: spec literals that can never build."""
+
+UNKNOWN_COMPONENT = "rcm+nosuchclustering:8+cluster"
+KERNEL_NEEDS_CLUSTERING = "rcm+none+cluster"
+BACKEND_IN_CORE_POSITION = "rcm+fixed:8+cluster+scipy"
+
+
+def parsed():
+    from repro.pipeline import PipelineSpec
+
+    return PipelineSpec.parse("original+fixed:8+vectorized_magic")

@@ -1,0 +1,12 @@
+"""RA005 clean: module-level, constant-default worker submitted."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker(shard, B, accumulator="sort"):
+    return shard, B, accumulator
+
+
+def run(shards, B):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return [f.result() for f in [pool.submit(_worker, s, B) for s in shards]]

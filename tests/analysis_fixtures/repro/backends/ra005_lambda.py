@@ -1,0 +1,14 @@
+"""RA005 violations: lambda and nested closure submitted to the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(shards, B):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(lambda s: s @ B, shard) for shard in shards]
+
+        def closure_worker(s):
+            return s @ B
+
+        futures += [pool.submit(closure_worker, shard) for shard in shards]
+        return [f.result() for f in futures]

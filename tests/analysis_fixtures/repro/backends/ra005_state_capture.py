@@ -1,0 +1,20 @@
+"""RA005 violations: bound method and stateful default cross the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+GLOBAL_CACHE = {}
+
+
+def _worker_with_state(shard, cache=GLOBAL_CACHE):
+    return cache.get(shard)
+
+
+class ShardedRunner:
+    def _run(self, shard):
+        return shard
+
+    def run(self, shards):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(self._run, s) for s in shards]
+            futures += [pool.submit(_worker_with_state, s) for s in shards]
+            return [f.result() for f in futures]

@@ -1,0 +1,7 @@
+"""RA000 violation: a suppression comment with no reason."""
+
+from repro.core.spgemm import spgemm_rowwise
+
+
+def oracle(A):
+    return spgemm_rowwise(A, A)  # repro: allow[RA001]

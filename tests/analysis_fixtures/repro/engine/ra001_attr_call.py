@@ -1,0 +1,7 @@
+"""RA001 violation: kernel call through a module attribute."""
+
+from repro.core import cluster_spgemm as mod
+
+
+def multiply(built, B):
+    return mod.cluster_spgemm(built.Ac, B, restore_order=True)

@@ -1,0 +1,7 @@
+"""RA001 clean: kernel execution through the single dispatch path."""
+
+
+def multiply(built, B):
+    from repro.backends import execute
+
+    return execute(built, B, kernel="rowwise", kernel_params={}, backend="reference")

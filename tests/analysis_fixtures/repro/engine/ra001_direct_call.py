@@ -1,0 +1,7 @@
+"""RA001 violation: bare kernel function call."""
+
+from repro.core.spgemm import spgemm_rowwise
+
+
+def multiply(A, B):
+    return spgemm_rowwise(A, B)

@@ -1,0 +1,7 @@
+"""RA001 suppression round-trip: violation silenced with a reason."""
+
+from repro.core.spgemm import spgemm_rowwise
+
+
+def oracle(A):
+    return spgemm_rowwise(A, A)  # repro: allow[RA001] fixture oracle path

@@ -1,0 +1,32 @@
+"""RA002 clean: every tracer touch is dominated by an .enabled guard."""
+
+
+def block_guard(tracer, work):
+    if tracer.enabled:
+        with tracer.span("fixture.block", n=len(work)):
+            return sum(work)
+    return sum(work)
+
+
+def early_return_guard(tracer, work):
+    if not tracer.enabled:
+        return sum(work)
+    with tracer.span("fixture.early"):
+        return sum(work)
+
+
+def none_and_enabled_guard(tracer, work):
+    if tracer is not None and tracer.enabled:
+        tracer.event("fixture.event", n=len(work))
+    return sum(work)
+
+
+class Engine:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def run(self, work):
+        if self.tracer is None or not self.tracer.enabled:
+            return sum(work)
+        with self.tracer.span("fixture.method"):
+            return sum(work)

@@ -1,0 +1,15 @@
+"""RA002 violations: unguarded event, and a guard that comes too late."""
+
+
+class Engine:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def evict(self, key):
+        self.tracer.event("fixture.evict", key=key)
+
+    def late_guard(self, work):
+        self.tracer.event("fixture.before_guard")
+        if not self.tracer.enabled:
+            return sum(work)
+        return sum(work)

@@ -1,0 +1,6 @@
+"""RA002 violation: span opened with no .enabled guard in sight."""
+
+
+def run(tracer, work):
+    with tracer.span("fixture.unguarded", n=len(work)):
+        return sum(work)

@@ -1,0 +1,19 @@
+"""RA003 clean: seeded RNG, monotonic durations, sorted iteration."""
+
+import time
+
+import numpy as np
+
+
+def durations():
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(4)
+
+
+def ordered(keys):
+    return [k for k in sorted(set(keys))]

@@ -1,0 +1,12 @@
+"""RA003 violations: hash-ordered set iteration feeding results."""
+
+
+def keys_from_literal():
+    return [k for k in {"rcm", "amd", "nd"}]
+
+
+def keys_from_call(items):
+    out = []
+    for k in set(items):
+        out.append(k)
+    return out

@@ -1,0 +1,27 @@
+"""RA003 violations: hidden-state / entropy-seeded randomness."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def entropy_rng():
+    return default_rng()
+
+
+def np_entropy_rng():
+    return np.random.default_rng()
+
+
+def np_global_state(n):
+    return np.random.rand(n)
+
+
+def module_state():
+    return random.random()
+
+
+def shuffled(items):
+    random.shuffle(items)
+    return items

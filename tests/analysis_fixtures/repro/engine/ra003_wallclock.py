@@ -1,0 +1,16 @@
+"""RA003 violations: absolute wall-clock reads in deterministic code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def stamp_ns():
+    return time.time_ns()
+
+
+def today():
+    return datetime.now().isoformat()

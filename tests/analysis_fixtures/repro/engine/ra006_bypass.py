@@ -1,0 +1,3 @@
+"""RA006 violation: hardcoded component-name tuple (the old shim shape)."""
+
+PLANNER_REORDERINGS = ("rcm", "amd", "rabbit")

@@ -1,0 +1,4 @@
+"""RA006 clean: non-component tuples stay allowed."""
+
+ACCUMULATORS = ("sort", "dense", "hash")
+POLICIES = ("heuristic", "autotune")

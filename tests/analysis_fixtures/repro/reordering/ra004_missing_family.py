@@ -1,0 +1,13 @@
+"""RA004 violation: @register site without its family capability tag."""
+
+from repro.reordering.base import register
+
+
+@register("fixture_order", square_only=True)
+def fixture_order(A, seed=0):
+    return None
+
+
+@register("fixture_tagged", family="bandwidth", square_only=True)
+def fixture_tagged(A, seed=0):
+    return None

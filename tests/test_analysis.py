@@ -104,3 +104,202 @@ class TestRenderers:
     def test_nan_rendering(self):
         out = render_dataset_bars("x", ["d"], {"m": [float("nan")]})
         assert "n/a" in out
+
+
+# ======================================================================
+# Static-analysis checker suite (repro.analysis.checks)
+# ======================================================================
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.checks import SCHEMA_VERSION, analyze_paths, render_json
+from repro.analysis.checks.framework import analyze_file
+from repro.analysis.checks.registry_scan import load_universe, validate_spec
+from repro.analysis.checks.rules import ALL_RULES, default_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "analysis_fixtures"
+
+
+def _findings(path, *rule_ids):
+    rules = default_rules(REPO_ROOT, only=rule_ids or None)
+    return analyze_file(FIXTURES / path, rules, REPO_ROOT)
+
+
+def _active(path, *rule_ids):
+    return [f for f in _findings(path, *rule_ids) if not f.suppressed]
+
+
+class TestRuleFixtures:
+    """Each rule: one clean fixture stays silent, violating ones fire."""
+
+    def test_ra001_clean(self):
+        assert _active("repro/engine/ra001_clean.py", "RA001") == []
+
+    @pytest.mark.parametrize(
+        "fixture", ["repro/engine/ra001_direct_call.py", "repro/engine/ra001_attr_call.py"]
+    )
+    def test_ra001_violations(self, fixture):
+        found = _active(fixture, "RA001")
+        assert found and all(f.rule == "RA001" for f in found)
+        assert "repro.backends.execute" in found[0].message
+
+    def test_ra002_clean(self):
+        assert _active("repro/engine/ra002_clean.py", "RA002") == []
+
+    def test_ra002_unguarded_span(self):
+        assert len(_active("repro/engine/ra002_unguarded_span.py", "RA002")) == 1
+
+    def test_ra002_unguarded_and_late_guard(self):
+        found = _active("repro/engine/ra002_unguarded_event.py", "RA002")
+        assert len(found) == 2  # bare event + guard placed after the call
+
+    def test_ra003_clean(self):
+        assert _active("repro/engine/ra003_clean.py", "RA003") == []
+
+    @pytest.mark.parametrize(
+        "fixture, expected",
+        [
+            ("repro/engine/ra003_wallclock.py", 3),
+            ("repro/engine/ra003_unseeded.py", 5),
+            ("repro/engine/ra003_set_iter.py", 2),
+        ],
+    )
+    def test_ra003_violations(self, fixture, expected):
+        assert len(_active(fixture, "RA003")) == expected
+
+    def test_ra004_register_sites(self):
+        found = _active("repro/reordering/ra004_missing_family.py", "RA004")
+        assert len(found) == 1  # fixture_tagged declares family=, fixture_order does not
+        assert "family" in found[0].message
+
+    def test_ra004_good_specs(self):
+        assert _active("ra004_good_specs.py", "RA004") == []
+
+    def test_ra004_bad_specs(self):
+        messages = [f.message for f in _active("ra004_bad_specs.py", "RA004")]
+        assert any("unknown component 'nosuchclustering'" in m for m in messages)
+        assert any("requires a clustering" in m for m in messages)
+        assert any("is a backend" in m for m in messages)
+        assert any("vectorized_magic" in m for m in messages)  # PipelineSpec.parse arg
+
+    def test_ra004_markdown(self):
+        found = _findings("ra004_bad_specs.md", "RA004")
+        active = [f for f in found if not f.suppressed]
+        assert any("bogus_stage" in f.message for f in active)
+        assert any("nosuchbackend" in f.message for f in active)  # fenced block
+        suppressed = [f for f in found if f.suppressed]
+        assert any("not_a_component" in f.message for f in suppressed)
+
+    def test_ra005_clean(self):
+        assert _active("repro/backends/ra005_clean.py", "RA005") == []
+
+    def test_ra005_lambda_and_closure(self):
+        messages = [f.message for f in _active("repro/backends/ra005_lambda.py", "RA005")]
+        assert len(messages) == 2
+        assert any("lambda" in m for m in messages)
+        assert any("closure_worker" in m for m in messages)
+
+    def test_ra005_state_capture(self):
+        messages = [f.message for f in _active("repro/backends/ra005_state_capture.py", "RA005")]
+        assert len(messages) == 2
+        assert any("bound method" in m for m in messages)
+        assert any("non-constant default" in m for m in messages)
+
+    def test_ra006_bypass_tuple(self):
+        found = _active("repro/engine/ra006_bypass.py", "RA006")
+        assert len(found) == 1 and "PLANNER_REORDERINGS" in found[0].message
+
+    def test_ra006_clean(self):
+        assert _active("repro/engine/ra006_clean.py", "RA006") == []
+
+
+class TestSuppressions:
+    def test_round_trip(self):
+        found = _findings("repro/engine/ra001_suppressed.py", "RA001")
+        assert len(found) == 1
+        assert found[0].suppressed and found[0].suppression_reason == "fixture oracle path"
+        assert all(f.suppressed for f in found)  # nothing gates
+
+    def test_bare_suppression_is_ra000(self):
+        found = _findings("repro/engine/ra000_bare_suppression.py", "RA001")
+        by_rule = {f.rule for f in found}
+        assert "RA000" in by_rule  # reasonless allow is itself a finding
+        active = [f for f in found if not f.suppressed]
+        assert [f.rule for f in active] == ["RA000"]
+
+
+class TestReportAndCli:
+    def test_json_envelope_schema(self):
+        findings, files = analyze_paths(
+            [FIXTURES / "repro" / "engine" / "ra001_direct_call.py"],
+            default_rules(REPO_ROOT),
+            REPO_ROOT,
+        )
+        env = json.loads(render_json(findings, files, rules={"RA001": "t"}))
+        assert env["schema"] == SCHEMA_VERSION
+        assert env["tool"] == "repro.analysis"
+        assert set(env) == {"schema", "tool", "rules", "summary", "findings"}
+        assert set(env["summary"]) == {"files", "findings", "suppressed", "by_rule"}
+        for f in env["findings"]:
+            assert {"rule", "severity", "path", "line", "col", "message", "suppressed"} <= set(f)
+
+    def test_cli_gates_on_fixtures(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--rules", "RA001",
+             str(FIXTURES / "repro" / "engine" / "ra001_direct_call.py")],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "RA001" in proc.stdout
+
+    def test_real_tree_is_clean(self):
+        # The acceptance criterion: the committed tree carries no
+        # unsuppressed finding (suppressions all carry reasons).
+        findings, files = analyze_paths(
+            [REPO_ROOT / p for p in ("src", "benchmarks", "examples", "README.md", "DESIGN.md")],
+            default_rules(REPO_ROOT),
+            REPO_ROOT,
+        )
+        active = [f for f in findings if not f.suppressed]
+        assert active == [], [f"{f.path}:{f.line} {f.rule} {f.message}" for f in active]
+        assert files > 50
+
+
+class TestStaticRegistryScan:
+    def test_universe_matches_live_registry(self):
+        # The static AST extraction must agree with what actually
+        # registers at import time — otherwise RA004 drifts silently.
+        from repro.pipeline import components
+
+        uni = load_universe(REPO_ROOT)
+        for kind, static_names in (
+            ("reordering", set(uni.reorderings)),
+            ("clustering", set(uni.clusterings)),
+            ("kernel", set(uni.kernels)),
+            ("backend", set(uni.backends)),
+        ):
+            live = {c.name for c in components(kind)}
+            assert static_names >= live, (kind, live - static_names)
+
+    def test_static_validation_agrees_with_parse(self):
+        from repro.pipeline import PipelineSpec
+
+        uni = load_universe(REPO_ROOT)
+        valid = ["rcm+fixed:8+cluster", "original+none+rowwise", "rcm+fixed:8+cluster@scipy"]
+        for text in valid:
+            assert validate_spec(text, uni) == []
+            PipelineSpec.parse(text)  # and the runtime agrees
+        invalid = ["rcm+nope+cluster", "rcm+fixed:8+cluster+scipy", "rcm+none+cluster"]
+        for text in invalid:
+            assert validate_spec(text, uni), text
+            with pytest.raises((KeyError, ValueError)):
+                PipelineSpec.parse(text)
+
+    def test_kernel_tags_extracted(self):
+        uni = load_universe(REPO_ROOT)
+        assert uni.kernels["cluster"] is True  # requires_clustering
+        assert uni.kernels["rowwise"] is False

@@ -1,8 +1,6 @@
 """The unified component registry: capability queries, the clustering
 registry, planner-space derivation (no drift), late registration, and the
-deprecation shims on the legacy entry points."""
-
-import warnings
+removal of the legacy (pre-registry) entry points."""
 
 import pytest
 
@@ -140,7 +138,8 @@ def test_late_registration_is_visible_everywhere():
 
 
 # ----------------------------------------------------------------------
-# Deprecation shims (satellite: legacy entry points warn with a hint)
+# Deprecation shims: removed (PR 2's window elapsed).  The legacy names
+# must now fail loudly, and RA006 guards against hardcoded replacements.
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
     "module_name, attr",
@@ -152,30 +151,32 @@ def test_late_registration_is_visible_everywhere():
         ("repro.engine.plan", "KERNELS"),
     ],
 )
-def test_legacy_constants_warn_but_stay_correct(module_name, attr):
+def test_legacy_constants_are_gone(module_name, attr):
     import importlib
 
     mod = importlib.import_module(module_name)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        value = getattr(mod, attr)
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-    assert any("repro." in str(w.message) for w in caught)  # migration hint
-    assert value  # still returns the registry-derived value
+    with pytest.raises(AttributeError):
+        getattr(mod, attr)
 
 
-def test_legacy_planner_constants_match_registry():
-    import repro.engine.planner as planner_mod
+def test_engine_modules_pass_registry_bypass_rule():
+    # RA006: no module-level tuples of registered component names may
+    # reappear in engine code (what the removed shims used to paper over).
+    import pathlib
 
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        assert planner_mod.PLANNER_REORDERINGS == planner_reorderings()
-        assert planner_mod._BANDWIDTH_ALGOS == frozenset(
-            c.name for c in components("reordering", family="bandwidth")
-        )
-        assert planner_mod._HUB_ALGOS == frozenset(
-            c.name for c in components("reordering", family="hub")
-        )
+    from repro.analysis.checks.framework import analyze_file
+    from repro.analysis.checks.rules import default_rules
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    rules = default_rules(repo_root, only=["RA006"])
+    engine_dir = repo_root / "src" / "repro" / "engine"
+    findings = [
+        f
+        for path in sorted(engine_dir.glob("*.py"))
+        for f in analyze_file(path, rules, repo_root)
+        if not f.suppressed
+    ]
+    assert findings == []
 
 
 def test_planner_module_has_no_hardcoded_algorithm_tuples():

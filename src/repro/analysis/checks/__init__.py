@@ -19,7 +19,7 @@ Layout:
     clusterings, kernels, backends) from source, plus a no-build
     validator for ``PipelineSpec`` string literals.
 ``rules``
-    The rule pack, RA001–RA006 (see DESIGN.md §13 for the catalogue).
+    The rule pack, RA001–RA007 (see DESIGN.md §13 for the catalogue).
 ``report``
     Human and schema-versioned JSON reporters (BENCH-envelope style).
 ``cli``

@@ -5,16 +5,18 @@ RA000  suppression comments must carry a reason (emitted by the driver)
 RA001  single dispatch: kernels are invoked only through
        ``repro.backends.execute`` (outside the backend/kernel layers)
 RA002  hot-path tracing guard: ``tracer.span``/``event`` sites in
-       engine/backends/pipeline must be dominated by an ``.enabled``
-       guard so the disabled path allocates nothing
+       engine/backends/pipeline/serve must be dominated by an
+       ``.enabled`` guard so the disabled path allocates nothing
 RA003  determinism: no wall clock, no unseeded RNG, no set-ordered
-       iteration in engine/planner/replay/fingerprint code
+       iteration in engine/planner/serve/replay/fingerprint code
 RA004  registry contract: ``@register`` sites declare ``family=``;
        every spec string literal validates against the registry
 RA005  pool confinement: process-pool workers are module-level
        functions that capture no state via closures or defaults
 RA006  no registry-bypassing constants: module-level tuples of
        component names in engine code (the PR 2 shims' failure mode)
+RA007  no blocking ``time.sleep`` on the serving request path: waits
+       must go through interruptible condition/event timeouts
 =====  ===============================================================
 
 Path scoping matches *consecutive path components* (``repro/engine``),
@@ -121,7 +123,12 @@ class TracingGuardRule(Rule):
     id = "RA002"
     title = "tracer calls in hot paths are guarded by .enabled"
 
-    _SCOPES = (("repro", "engine"), ("repro", "backends"), ("repro", "pipeline"))
+    _SCOPES = (
+        ("repro", "engine"),
+        ("repro", "backends"),
+        ("repro", "pipeline"),
+        ("repro", "serve"),
+    )
     _TRACER_METHODS = frozenset({"span", "event", "start_span"})
 
     def applies_to(self, ctx: FileContext) -> bool:
@@ -197,7 +204,7 @@ class DeterminismRule(Rule):
     id = "RA003"
     title = "no wall clock, unseeded RNG or set-ordered iteration"
 
-    _SCOPES = (("repro", "engine"),)
+    _SCOPES = (("repro", "engine"), ("repro", "serve"))
     _SCOPE_FILES = ("replay.py", "fingerprint.py")
 
     _WALL_CLOCK = frozenset({"time.time", "time.time_ns"})
@@ -508,7 +515,36 @@ class RegistryBypassRule(Rule):
 
 
 # ----------------------------------------------------------------------
-ALL_RULES = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006")
+# RA007 — no blocking sleep on the serving hot path
+# ----------------------------------------------------------------------
+class HotPathSleepRule(Rule):
+    id = "RA007"
+    title = "no time.sleep on the serving request path"
+
+    _SCOPES = (("repro", "serve"),)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_python and any(path_has_parts(ctx, *p) for p in self._SCOPES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name == "time.sleep" or name == "sleep":
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f"blocking {name}() on the serving path: it holds the "
+                    "thread hostage for its full duration and cannot be "
+                    "interrupted by shutdown; wait on Condition.wait(timeout) "
+                    "/ Event.wait(timeout) so close() can wake the waiter",
+                )
+
+
+# ----------------------------------------------------------------------
+ALL_RULES = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007")
 
 
 def default_rules(repo_root: Path, only: Iterable[str] | None = None) -> list[Rule]:
@@ -521,6 +557,7 @@ def default_rules(repo_root: Path, only: Iterable[str] | None = None) -> list[Ru
         RegistryContractRule(universe),
         PoolConfinementRule(),
         RegistryBypassRule(universe),
+        HotPathSleepRule(),
     ]
     if only is not None:
         wanted = {r.strip().upper() for r in only}

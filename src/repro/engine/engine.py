@@ -30,6 +30,7 @@ Typical use::
 from __future__ import annotations
 
 import math
+import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
@@ -64,6 +65,15 @@ class EngineStats:
     plan's ``predicted_cost`` and credited the plan's ``baseline_cost``,
     while planning trials and operand preparation are one-off
     investments.
+
+    Thread safety: the serving front-end (:mod:`repro.serve`) mutates one
+    stats object from scheduler, planner and fallback (caller) threads
+    concurrently, so every mutation goes through :meth:`bump` /
+    :meth:`bump_plan` / :meth:`log_replan` — additions under a
+    per-instance lock (``+=`` on an attribute is a read-modify-write and
+    silently drops updates under contention).  The lock is allocated once
+    in ``__post_init__``; single-threaded callers pay one uncontended
+    acquire per counter batch.
     """
 
     multiplies: int = 0
@@ -94,10 +104,39 @@ class EngineStats:
     model_probe_cost: float = 0.0
     per_plan: dict = field(default_factory=dict)  # plan label → multiply count
     backend_events: dict = field(default_factory=dict)  # ExecutionContext counters
+    # Serving-derived metrics (queue depth, coalesce ratio, shed count,
+    # latency percentiles, per-client breakdowns) synced in by a
+    # :class:`repro.serve.SpGEMMServer`; empty for a plain engine.
+    serving: dict = field(default_factory=dict)
     # Drift re-plan events (dicts), bounded: a long-lived engine under a
     # churning workload re-plans indefinitely, so the log is a ring
     # buffer keeping the most recent REPLAN_LOG_CAP events.
     replan_log: "deque" = field(default_factory=lambda: deque(maxlen=REPLAN_LOG_CAP))
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    @property
+    def lock(self) -> threading.Lock:
+        """The mutation lock — held by callers that need a multi-field
+        consistent update or snapshot."""
+        return self._lock
+
+    def bump(self, **deltas) -> None:
+        """Add ``deltas`` to the named counter fields atomically."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def bump_plan(self, label: str) -> None:
+        """Count one multiply against plan ``label``."""
+        with self._lock:
+            self.per_plan[label] = self.per_plan.get(label, 0) + 1
+
+    def log_replan(self, event: dict) -> None:
+        """Append one drift re-plan event to the bounded log."""
+        with self._lock:
+            self.replan_log.append(event)
 
     # ------------------------------------------------------------------
     @property
@@ -144,19 +183,22 @@ class EngineStats:
         from dataclasses import fields
 
         def _json_safe(v):
-            if isinstance(v, deque):
-                return list(v)
+            # Recursive: the serving block nests dicts (per-client stats,
+            # latency percentiles) that may carry NaN/inf values.
+            if isinstance(v, (deque, list, tuple)):
+                return [_json_safe(x) for x in v]
             if isinstance(v, dict):
-                return dict(v)
+                return {k: _json_safe(x) for k, x in v.items()}
             if isinstance(v, float) and not math.isfinite(v):
                 return None
             return v
 
-        d = {f.name: _json_safe(getattr(self, f.name)) for f in fields(self)}
-        d["invested_cost"] = _json_safe(self.invested_cost)
-        d["cumulative_gain"] = _json_safe(self.cumulative_gain)
-        d["break_even_iterations"] = _json_safe(self.break_even_iterations())
-        d["amortization_progress"] = _json_safe(self.amortization_progress())
+        with self._lock:
+            d = {f.name: _json_safe(getattr(self, f.name)) for f in fields(self)}
+            d["invested_cost"] = _json_safe(self.invested_cost)
+            d["cumulative_gain"] = _json_safe(self.cumulative_gain)
+            d["break_even_iterations"] = _json_safe(self.break_even_iterations())
+            d["amortization_progress"] = _json_safe(self.amortization_progress())
         return d
 
     #: Backwards-compatible alias (pre-observability name).
@@ -185,6 +227,10 @@ class EngineStats:
             lines.append(f"  plan {label}: {n} multiplies")
         for key, n in sorted(self.backend_events.items()):
             lines.append(f"  backend {key}: {n}")
+        for key in sorted(self.serving):
+            v = self.serving[key]
+            if not isinstance(v, dict):  # scalars only; nested blocks are to_dict() fare
+                lines.append(f"  serving {key}: {v}")
         return "\n".join(lines)
 
 
@@ -344,6 +390,15 @@ class SpGEMMEngine:
         self._backend_planners: dict[str, Planner] = {}
         self._exec_ctx = ExecutionContext(cfg=self.cfg, tracer=self.tracer)
         self._stats = EngineStats()
+        # The serving front-end drives one engine from a dispatch thread,
+        # a planner thread and (on fallback) arbitrary caller threads.
+        # _plan_build_lock serialises planner.plan + take_prepared (the
+        # planner hands its prepared operand to whoever planned last);
+        # _memo_lock guards the fingerprint/operand/planner memo dicts.
+        # Neither is held across backend execution, so warm requests
+        # execute while a cold fingerprint plans.
+        self._plan_build_lock = threading.RLock()
+        self._memo_lock = threading.RLock()
 
     @staticmethod
     def _resolve_calibration(calibration) -> CalibrationTable | None:
@@ -370,14 +425,19 @@ class SpGEMMEngine:
         # so the memo can never serve a stale entry for a different
         # pattern, however objects are allocated.
         digest = pattern_digest(A)
-        fp = self._fingerprints.get(digest)
-        if fp is None:
-            fp = fingerprint(A, seed=self.seed, digest=digest)
+        with self._memo_lock:
+            fp = self._fingerprints.get(digest)
+            if fp is not None:
+                self._fingerprints.move_to_end(digest)
+                return fp
+        # Sketch outside the lock: fingerprint() is deterministic in
+        # (pattern, seed), so a concurrent duplicate build is identical
+        # and last-writer-wins is harmless.
+        fp = fingerprint(A, seed=self.seed, digest=digest)
+        with self._memo_lock:
             self._fingerprints[digest] = fp
             while len(self._fingerprints) > self._fingerprint_cap:
                 self._fingerprints.popitem(last=False)
-        else:
-            self._fingerprints.move_to_end(digest)
         return fp
 
     def _machine_token(self) -> str:
@@ -418,7 +478,8 @@ class SpGEMMEngine:
         is (all memoised — repeated calls share plan-cache entries)."""
         if pipeline is not None:
             key = str(self._spec_with_backend(pipeline, backend))
-            planner = self._pipeline_planners.get(key)
+            with self._memo_lock:
+                planner = self._pipeline_planners.get(key)
             if planner is None:
                 planner = make_planner(
                     "pipeline",
@@ -429,14 +490,18 @@ class SpGEMMEngine:
                     calibration=self.calibration,
                     tracer=self.tracer,
                 )
-                self._pipeline_planners[key] = planner
+                with self._memo_lock:
+                    # setdefault: concurrent builders share one instance
+                    # (planners carry per-plan state, so identity matters).
+                    planner = self._pipeline_planners.setdefault(key, planner)
             return planner
         if backend is None or backend == self.backend:
             return self.planner
         if self.policy == "pipeline":
             # Re-pin the engine's own spec onto the requested backend.
             return self._resolve_planner(self.planner.spec, backend)
-        planner = self._backend_planners.get(backend)
+        with self._memo_lock:
+            planner = self._backend_planners.get(backend)
         if planner is None:
             kw = dict(
                 cfg=self.cfg,
@@ -454,7 +519,8 @@ class SpGEMMEngine:
                 # the variant planner fit a duplicate corpus.
                 kw["predictor"] = self.planner.predictor
             planner = make_planner(self.policy, **kw)
-            self._backend_planners[backend] = planner
+            with self._memo_lock:
+                planner = self._backend_planners.setdefault(backend, planner)
         return planner
 
     @staticmethod
@@ -508,34 +574,42 @@ class SpGEMMEngine:
         plan = self.plan_cache.get(key)
         if plan is not None:
             if count_lookup:
-                self._stats.plan_cache_hits += 1
-                if plan.calibration_epoch != planner.calibration_epoch:
-                    self._stats.stale_plan_serves += 1
+                stale = int(plan.calibration_epoch != planner.calibration_epoch)
+                self._stats.bump(plan_cache_hits=1, stale_plan_serves=stale)
         else:
-            if count_lookup:
-                self._stats.plan_cache_misses += 1
-            warm = None
-            if self._warm_start and planner.uses_warm_start:
-                near = self.plan_cache.nearest(fp.feature_array(), exclude=key)
-                # Reconcile once; count only hints the planner can
-                # actually apply — a neighbour whose reordering/backend
-                # cannot serve this operand leaves the search fully cold.
-                warm = planner.warm_candidate(near, A)
-                if warm is not None:
-                    self._stats.warm_starts += 1
-            plan = planner.plan(A, Bx, fp, workload, warm_start=warm)
-            self.plan_cache.put(key, plan, features=fp.features)
-            self._stats.plans_built += 1
-            self._stats.model_planning_cost += plan.planning_cost
-            # The planner already materialised the winning operand for
-            # its measurement — seed the operand cache with it so the
-            # preprocessing is never paid twice.
-            prep = planner.take_prepared()
-            if prep is not None:
-                self._stats.operands_prepared += 1
-                self._stats.model_pre_cost += prep.pre_cost
-                self._store_operand(self._operand_key(plan, A), prep)
-        self._stats.planning_seconds += time.perf_counter() - t0
+            with self._plan_build_lock:
+                # Double-check under the build lock: serve's planner
+                # thread and its dispatch thread can race on a cold key,
+                # and the loser must reuse rather than rebuild (planners
+                # hand take_prepared() to whoever planned last).
+                plan = self.plan_cache.get(key)
+                if plan is not None:
+                    if count_lookup:
+                        stale = int(plan.calibration_epoch != planner.calibration_epoch)
+                        self._stats.bump(plan_cache_hits=1, stale_plan_serves=stale)
+                else:
+                    if count_lookup:
+                        self._stats.bump(plan_cache_misses=1)
+                    warm = None
+                    if self._warm_start and planner.uses_warm_start:
+                        near = self.plan_cache.nearest(fp.feature_array(), exclude=key)
+                        # Reconcile once; count only hints the planner can
+                        # actually apply — a neighbour whose reordering/backend
+                        # cannot serve this operand leaves the search fully cold.
+                        warm = planner.warm_candidate(near, A)
+                        if warm is not None:
+                            self._stats.bump(warm_starts=1)
+                    plan = planner.plan(A, Bx, fp, workload, warm_start=warm)
+                    self.plan_cache.put(key, plan, features=fp.features)
+                    self._stats.bump(plans_built=1, model_planning_cost=plan.planning_cost)
+                    # The planner already materialised the winning operand for
+                    # its measurement — seed the operand cache with it so the
+                    # preprocessing is never paid twice.
+                    prep = planner.take_prepared()
+                    if prep is not None:
+                        self._stats.bump(operands_prepared=1, model_pre_cost=prep.pre_cost)
+                        self._store_operand(self._operand_key(plan, A), prep)
+        self._stats.bump(planning_seconds=time.perf_counter() - t0)
         return plan
 
     # ------------------------------------------------------------------
@@ -560,28 +634,35 @@ class SpGEMMEngine:
     def prepare(self, A: CSRMatrix, plan: ExecutionPlan) -> PreparedOperand:
         """Materialise (or reuse) the plan's reordered/clustered operand."""
         key = self._operand_key(plan, A)
-        prep = self._operands.get(key)
+        with self._memo_lock:
+            prep = self._operands.get(key)
+            if prep is not None:
+                self._operands.move_to_end(key)
         if prep is not None:
-            self._operands.move_to_end(key)
-            self._stats.operands_reused += 1
+            self._stats.bump(operands_reused=1)
             return prep
         t0 = time.perf_counter()
         # Rebuild through the plan's pipeline spec so every component
-        # parameter (reordering, clustering, kernel) is honoured.
+        # parameter (reordering, clustering, kernel) is honoured.  Built
+        # outside the memo lock: preparation is the expensive step, and a
+        # concurrent duplicate build is deterministic-identical.
         from .planner import _prepared_from_built
 
         built = plan.pipeline().build(A, seed=plan.seed, mode="rows", cfg=self.cfg)
         prep = _prepared_from_built(built, self.machine.cost)
-        self._stats.preprocess_seconds += time.perf_counter() - t0
-        self._stats.operands_prepared += 1
-        self._stats.model_pre_cost += prep.pre_cost
+        self._stats.bump(
+            preprocess_seconds=time.perf_counter() - t0,
+            operands_prepared=1,
+            model_pre_cost=prep.pre_cost,
+        )
         self._store_operand(key, prep)
         return prep
 
     def _store_operand(self, key: tuple, prep: PreparedOperand) -> None:
-        self._operands[key] = prep
-        while len(self._operands) > self._operand_cap:
-            self._operands.popitem(last=False)
+        with self._memo_lock:
+            self._operands[key] = prep
+            while len(self._operands) > self._operand_cap:
+                self._operands.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Execution
@@ -679,11 +760,13 @@ class SpGEMMEngine:
         )
         if prep.inv is not None:
             C = C.permute_rows(prep.inv)
-        self._stats.execute_seconds += time.perf_counter() - t0
-        self._stats.multiplies += 1
-        self._stats.model_executed_cost += plan.predicted_cost
-        self._stats.model_baseline_cost += plan.baseline_cost
-        self._stats.per_plan[plan.label] = self._stats.per_plan.get(plan.label, 0) + 1
+        self._stats.bump(
+            execute_seconds=time.perf_counter() - t0,
+            multiplies=1,
+            model_executed_cost=plan.predicted_cost,
+            model_baseline_cost=plan.baseline_cost,
+        )
+        self._stats.bump_plan(plan.label)
         return C
 
     # ------------------------------------------------------------------
@@ -725,8 +808,7 @@ class SpGEMMEngine:
             return
         t0 = time.perf_counter()
         executed = self._measure_executed(plan, prep, Bx)
-        self._stats.drift_probes += 1
-        self._stats.model_probe_cost += executed  # measured, not invested
+        self._stats.bump(drift_probes=1, model_probe_cost=executed)  # measured, not invested
         decision = monitor.observe(key, predicted=plan.predicted_cost, executed=executed)
         if self.tracer.enabled:
             self.tracer.event(
@@ -735,38 +817,41 @@ class SpGEMMEngine:
             if decision.drifted:
                 self.tracer.event("adaptive.drift", plan=plan.label, ratio=decision.ratio)
         if decision.drifted:
-            self._stats.drift_detected += 1
+            self._stats.bump(drift_detected=1)
         if decision.replan:
-            new_plan = planner.plan(A, Bx, fp, workload)
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "adaptive.replan",
-                    src=plan.label,
-                    dst=new_plan.label,
-                    predicted=plan.predicted_cost,
-                    executed=executed,
+            with self._plan_build_lock:
+                # Same serialisation as _plan_for's miss branch: the
+                # planner's plan/take_prepared pair must not interleave
+                # with a concurrent cold build.
+                new_plan = planner.plan(A, Bx, fp, workload)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "adaptive.replan",
+                        src=plan.label,
+                        dst=new_plan.label,
+                        predicted=plan.predicted_cost,
+                        executed=executed,
+                    )
+                self.plan_cache.put(key, new_plan, features=fp.features)
+                monitor.notify_replanned(key)
+                self._stats.bump(
+                    replans=1, plans_built=1, model_planning_cost=new_plan.planning_cost
                 )
-            self.plan_cache.put(key, new_plan, features=fp.features)
-            monitor.notify_replanned(key)
-            self._stats.replans += 1
-            self._stats.plans_built += 1
-            self._stats.model_planning_cost += new_plan.planning_cost
-            self._stats.replan_log.append(
-                {
-                    "from": plan.label,
-                    "to": new_plan.label,
-                    "predicted": plan.predicted_cost,
-                    "executed": executed,
-                    "workload": workload,
-                    "fingerprint": fp.key,
-                }
-            )
-            new_prep = planner.take_prepared()
-            if new_prep is not None:
-                self._stats.operands_prepared += 1
-                self._stats.model_pre_cost += new_prep.pre_cost
-                self._store_operand(self._operand_key(new_plan, A), new_prep)
-        self._stats.planning_seconds += time.perf_counter() - t0
+                self._stats.log_replan(
+                    {
+                        "from": plan.label,
+                        "to": new_plan.label,
+                        "predicted": plan.predicted_cost,
+                        "executed": executed,
+                        "workload": workload,
+                        "fingerprint": fp.key,
+                    }
+                )
+                new_prep = planner.take_prepared()
+                if new_prep is not None:
+                    self._stats.bump(operands_prepared=1, model_pre_cost=new_prep.pre_cost)
+                    self._store_operand(self._operand_key(new_plan, A), new_prep)
+        self._stats.bump(planning_seconds=time.perf_counter() - t0)
 
     def drift_state(self, A: CSRMatrix, *, workload: str = "asquare", backend: str | None = None) -> dict | None:
         """Monitor snapshot for ``A``'s plan key (``None`` when the
@@ -837,8 +922,7 @@ class SpGEMMEngine:
             if A.ncols != B.nrows:
                 raise ValueError(f"inner dimensions differ: {A.shape} x {B.shape}")
             if i:
-                self._stats.plan_cache_hits += 1
-                self._stats.operands_reused += 1
+                self._stats.bump(plan_cache_hits=1, operands_reused=1)
             out.append(self._execute(plan, prep, B))
         # One drift probe per batch (the whole batch ran one plan): the
         # last frontier is the freshest evidence, and a fired re-plan
@@ -873,8 +957,7 @@ class SpGEMMEngine:
                 plan = self._plan_for(A, C, workload="asquare")
                 prep = self.prepare(A, plan)
             else:
-                self._stats.plan_cache_hits += 1
-                self._stats.operands_reused += 1
+                self._stats.bump(plan_cache_hits=1, operands_reused=1)
             C = self._execute(plan, prep, C)
         return C
 
@@ -882,12 +965,22 @@ class SpGEMMEngine:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
-        """Snapshot of the cumulative engine accounting."""
-        snap = replace(self._stats)
-        snap.per_plan = dict(self._stats.per_plan)
+        """Snapshot of the cumulative engine accounting (consistent
+        under concurrent multiplies: taken under the stats lock)."""
+        live = self._stats
+        with live.lock:
+            snap = replace(live)  # fresh instance → fresh lock
+            snap.per_plan = dict(live.per_plan)
+            snap.serving = dict(live.serving)
+            snap.replan_log = list(live.replan_log)
         snap.backend_events = dict(self._exec_ctx.stats)
-        snap.replan_log = list(self._stats.replan_log)
         return snap
+
+    def record_serving(self, metrics: dict) -> None:
+        """Merge serving-derived metrics (from :mod:`repro.serve`) into
+        the stats ledger, surfaced by ``stats()``/``to_dict()``."""
+        with self._stats.lock:
+            self._stats.serving.update(metrics)
 
     def reset_stats(self) -> None:
         self._stats = EngineStats()

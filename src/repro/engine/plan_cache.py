@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import threading
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -102,6 +103,9 @@ class PlanCache:
         self.persist = bool(persist)
         self.eviction = eviction
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        # Re-entrant: serve's planner/dispatch threads share one cache,
+        # and put() → _insert() → _evict_one() nests inside the lock.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -154,42 +158,46 @@ class PlanCache:
     # ------------------------------------------------------------------
     def get(self, key: str) -> ExecutionPlan | None:
         """Look up a plan; counts a hit/miss and refreshes LRU order."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry.plan
-        entry = self._load_disk(key)
-        if entry is not None:
-            self.disk_hits += 1
-            self.hits += 1
-            self._insert(key, entry)
-            return entry.plan
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry.plan
+            entry = self._load_disk(key)
+            if entry is not None:
+                self.disk_hits += 1
+                self.hits += 1
+                self._insert(key, entry)
+                return entry.plan
+            self.misses += 1
+            return None
 
     def put(self, key: str, plan: ExecutionPlan, *, features=None) -> None:
         """Insert (or replace) a plan, optionally with the fingerprint
         features of the pattern it was planned for (the warm-start
         neighbour coordinates)."""
         entry = _Entry(plan, None if features is None else tuple(float(x) for x in features))
-        if self.tracer.enabled:
-            self.tracer.event(
-                "plan_cache.put", plan=plan.label, replaced=key in self._entries
-            )
-        self._insert(key, entry)
-        self._store_disk(key, entry)
+        with self._lock:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "plan_cache.put", plan=plan.label, replaced=key in self._entries
+                )
+            self._insert(key, entry)
+            self._store_disk(key, entry)
 
     def features_for(self, key: str) -> tuple[float, ...] | None:
         """The stored fingerprint features of one entry (no LRU touch)."""
-        entry = self._entries.get(key)
-        return entry.features if entry is not None else None
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.features if entry is not None else None
 
     def _insert(self, key: str, entry: _Entry) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._evict_one(protect=key)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._evict_one(protect=key)
 
     def _evict_one(self, *, protect: str) -> None:
         # The just-inserted entry is never the victim: a cache that can
@@ -228,13 +236,17 @@ class PlanCache:
         """
         from .fingerprint import feature_distance
 
+        with self._lock:
+            candidates = [
+                (entry.plan, entry.features)
+                for key, entry in self._entries.items()
+                if key != exclude and entry.features is not None
+            ]
         best, best_d = None, math.inf
-        for key, entry in self._entries.items():
-            if key == exclude or entry.features is None:
-                continue
-            d = feature_distance(features, entry.features)
+        for plan, feats in candidates:
+            d = feature_distance(features, feats)
             if d < best_d:
-                best, best_d = entry.plan, d
+                best, best_d = plan, d
         if best is not None and self.tracer.enabled:
             self.tracer.event("plan_cache.warm_hint", plan=best.label, distance=best_d)
         return best
@@ -254,18 +266,20 @@ class PlanCache:
         """Drop all in-memory entries; ``disk=True`` also deletes every
         persisted plan file under :func:`plan_cache_dir` (shared across
         processes — use deliberately)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
         if disk and self.persist and not _persist_disabled():
             for path in plan_cache_dir().glob("plan_*.json"):
                 path.unlink(missing_ok=True)
 
     def stats(self) -> dict:
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "eviction": self.eviction,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "disk_hits": self.disk_hits,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "eviction": self.eviction,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+            }

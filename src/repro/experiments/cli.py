@@ -10,6 +10,8 @@ Usage::
     python -m repro.experiments.cli engine --pipeline rcm+fixed:8+cluster@scipy
     python -m repro.experiments.cli engine --backend sharded:workers=2
     python -m repro.experiments.cli pipelines      # registered components
+    python -m repro.experiments.cli serve --port 7077          # long-lived service
+    python -m repro.experiments.cli serve --serve-requests 24  # loopback smoke
 
 Prints the same paper-style tables the benchmark harness saves under
 ``benchmarks/results/`` (the pytest benches additionally time the
@@ -278,6 +280,90 @@ def _finish_obs(args, eng, trace_sink, lines) -> None:
         lines.append(f"stats written: {args.stats_json}")
 
 
+def serve_cmd(args) -> str:
+    """Run the engine as a long-lived batching service (the ``serve``
+    command; DESIGN.md §14).
+
+    Wraps a :class:`~repro.serve.SpGEMMServer` in the JSONL socket
+    front-end and either serves until a client sends ``shutdown`` (the
+    default, blocking mode) or — with ``--serve-requests N`` — drives N
+    seeded replay requests through a loopback :class:`ServeClient`,
+    checks every answer bitwise against a sequential engine, and reports
+    the serving stats (the CI smoke path).  ``--window-ms``,
+    ``--max-batch`` and ``--max-pending`` shape the batching window and
+    admission control; ``--policy``, ``--backend``, ``--trace`` and
+    ``--stats-json`` mean the same as for the ``engine`` command.
+    """
+    from ..engine import SpGEMMEngine
+    from ..serve import ServeConfig, ServeRPCServer, SpGEMMServer
+
+    tracer = None
+    trace_sink = None
+    if args.trace:
+        from ..obs import JsonlSink, Tracer
+
+        trace_sink = JsonlSink(args.trace)
+        tracer = Tracer(trace_sink)
+    eng = SpGEMMEngine(
+        policy=args.policy, backend=args.backend or None, config=ExperimentConfig(), tracer=tracer
+    )
+    cfg = ServeConfig(
+        window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    )
+    server = SpGEMMServer(eng, cfg)
+    rpc = ServeRPCServer(server, host=args.host, port=args.port)
+    rpc.start()
+    host, port = rpc.address
+    lines = []
+    try:
+        if args.serve_requests is not None:
+            lines += _serve_demo(args, host, port)
+        else:
+            print(f"serving on {host}:{port} (send op=shutdown to stop)", file=sys.stderr)
+            rpc.wait_shutdown()
+            lines.append(f"shutdown requested, draining {host}:{port}")
+    finally:
+        rpc.close()
+    lines.append(server.stats().summary())
+    _finish_obs(args, eng, trace_sink, lines)
+    return "\n".join(lines)
+
+
+def _serve_demo(args, host: str, port: int) -> list[str]:
+    """The ``serve --serve-requests N`` loopback smoke: replay a seeded
+    trace through a socket client and check every product bitwise
+    against a fresh sequential engine (same policy/backend)."""
+    from ..engine import SpGEMMEngine
+    from ..serve import ServeClient, replay_sequential, results_identical
+    from ..workloads import synthesize_trace, trace_operands
+
+    trace = synthesize_trace(requests=args.serve_requests, seed=args.replay_seed)
+    lines = [
+        f"driving {args.serve_requests} seeded requests (seed {args.replay_seed}) "
+        f"through {host}:{port} ..."
+    ]
+    served = []
+    with ServeClient(host, port, client="cli-demo") as client:
+        if not client.ping():
+            raise RuntimeError(f"server at {host}:{port} did not answer ping")
+        for _req, A, Bs in trace_operands(trace):
+            for B in Bs:
+                served.append(client.multiply(A, B))
+    reference = SpGEMMEngine(
+        policy=args.policy, backend=args.backend or None, config=ExperimentConfig()
+    )
+    expected = replay_sequential(reference, trace)
+    identical = results_identical(served, expected)
+    lines.append(
+        f"served {len(served)} products, bitwise identical to sequential multiply: {identical}"
+    )
+    if not identical:
+        raise SystemExit("serve smoke FAILED: served results differ from sequential multiply")
+    return lines
+
+
 def pipelines_cmd(args) -> str:
     """List the registered pipeline components (the ``pipelines`` command)."""
     from ..pipeline import describe
@@ -298,7 +384,7 @@ ARTEFACTS = {
     "table4": table4,
 }
 
-COMMANDS = {**ARTEFACTS, "engine": engine_demo, "pipelines": pipelines_cmd}
+COMMANDS = {**ARTEFACTS, "engine": engine_demo, "pipelines": pipelines_cmd, "serve": serve_cmd}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -372,6 +458,49 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="engine command: stream every span/event the engine emits to PATH "
         "as JSON lines (inspect with jq or python -m json.tool)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve command: interface to bind the JSONL socket front-end to",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve command: TCP port (0 binds an ephemeral port and prints it)",
+    )
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="serve command: batching window — how long the scheduler holds the "
+        "first request of a batch waiting for coalescible company",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="N",
+        help="serve command: dispatch a group as soon as it reaches N requests",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        metavar="N",
+        help="serve command: admission control — queued requests beyond N are "
+        "load-shed with a typed ServerOverloaded rejection",
+    )
+    parser.add_argument(
+        "--serve-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve command: instead of serving forever, drive N seeded replay "
+        "requests through a loopback client, verify bitwise against sequential "
+        "multiply, print the serving stats and exit (the CI smoke path)",
     )
     parser.add_argument(
         "--drift-demo",

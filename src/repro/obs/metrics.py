@@ -13,6 +13,14 @@ byte-reproducible from a seed.
 :class:`MetricsRegistry` is the per-engine/per-replay bag of named
 counters and histograms with a sorted, JSON-safe :meth:`snapshot`.
 
+Thread safety: the serving front-end (:mod:`repro.serve`) observes
+latencies and bumps counters from scheduler, planner and RPC handler
+threads concurrently, so :meth:`Counter.inc`, :meth:`Histogram.observe`
+and the registry's get-or-create accessors take a per-instance lock
+(allocated once at construction — the hot path acquires, never
+allocates).  ``+=`` on a Python attribute is a read-modify-write and
+drops updates under contention without it.
+
 Pure stdlib — numpy appears only in the test that cross-checks the
 percentile math.
 """
@@ -20,6 +28,7 @@ percentile math.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["Counter", "P2Quantile", "Histogram", "MetricsRegistry"]
@@ -27,13 +36,17 @@ __all__ = ["Counter", "P2Quantile", "Histogram", "MetricsRegistry"]
 
 @dataclass
 class Counter:
-    """A named monotonically-adjusted counter."""
+    """A named monotonically-adjusted counter (thread-safe)."""
 
     name: str
     value: float = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def inc(self, n: float = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class P2Quantile:
@@ -157,6 +170,7 @@ class Histogram:
         self.exact_cap = int(exact_cap)
         self._exact: list[float] | None = [] if exact_cap else None
         self._estimators = {q: P2Quantile(q) for q in self.quantiles}
+        self._lock = threading.Lock()
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
@@ -164,16 +178,17 @@ class Histogram:
 
     def observe(self, x: float) -> None:
         x = float(x)
-        self.count += 1
-        self.sum += x
-        self.min = min(self.min, x)
-        self.max = max(self.max, x)
-        for est in self._estimators.values():
-            est.observe(x)
-        if self._exact is not None:
-            self._exact.append(x)
-            if len(self._exact) > self.exact_cap:
-                self._exact = None  # stream outgrew the buffer: P² takes over
+        with self._lock:
+            self.count += 1
+            self.sum += x
+            self.min = min(self.min, x)
+            self.max = max(self.max, x)
+            for est in self._estimators.values():
+                est.observe(x)
+            if self._exact is not None:
+                self._exact.append(x)
+                if len(self._exact) > self.exact_cap:
+                    self._exact = None  # stream outgrew the buffer: P² takes over
 
     @property
     def mean(self) -> float:
@@ -184,18 +199,19 @@ class Histogram:
         buffer holds, streaming P² after; tracked quantiles only once
         streaming."""
         q = float(q)
-        if self.count == 0:
-            return math.nan
-        if self._exact is not None:
-            return _exact_percentile(sorted(self._exact), q)
-        est = self._estimators.get(q)
-        if est is None:
-            raise KeyError(
-                f"quantile {q} is not tracked by histogram {self.name!r} "
-                f"(tracked: {list(self.quantiles)}) and the stream has "
-                f"outgrown the exact buffer"
-            )
-        return est.value()
+        with self._lock:
+            if self.count == 0:
+                return math.nan
+            if self._exact is not None:
+                return _exact_percentile(sorted(self._exact), q)
+            est = self._estimators.get(q)
+            if est is not None:
+                return est.value()
+        raise KeyError(
+            f"quantile {q} is not tracked by histogram {self.name!r} "
+            f"(tracked: {list(self.quantiles)}) and the stream has "
+            f"outgrown the exact buffer"
+        )
 
     @staticmethod
     def _label(q: float) -> str:
@@ -219,27 +235,38 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters + histograms with a JSON-safe snapshot."""
+    """Named counters + histograms with a JSON-safe snapshot.
+
+    Get-or-create is locked so two threads asking for the same name
+    always share one instance (an unlocked check-then-insert would hand
+    each thread its own metric and silently split the stream).
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
-        c = self._counters.get(name)
-        if c is None:
-            c = self._counters[name] = Counter(name)
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
         return c
 
     def histogram(self, name: str, **kw) -> Histogram:
-        h = self._histograms.get(name)
-        if h is None:
-            h = self._histograms[name] = Histogram(name, **kw)
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name, **kw)
         return h
 
     def snapshot(self) -> dict:
         """Sorted ``{"counters": {...}, "histograms": {...}}`` projection."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
         return {
-            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
-            "histograms": {k: self._histograms[k].to_dict() for k in sorted(self._histograms)},
+            "counters": {k: counters[k].value for k in sorted(counters)},
+            "histograms": {k: histograms[k].to_dict() for k in sorted(histograms)},
         }

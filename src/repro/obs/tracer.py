@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -143,20 +144,28 @@ class JsonlSink(TraceSink):
 
         self.path = Path(path)
         self._fh = None
+        # Serving emits spans from scheduler/planner/RPC threads; a lock
+        # keeps each JSON line intact (interleaved writes would corrupt
+        # the file mid-line).
+        self._lock = threading.Lock()
 
     def emit(self, span: SpanRecord) -> None:
-        if self._fh is None:
-            self._fh = self.path.open("a")
-        self._fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        line = json.dumps(span.to_dict(), sort_keys=True) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self._fh = self.path.open("a")
+            self._fh.write(line)
 
     def flush(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
 
 class StderrSummarySink(TraceSink):
@@ -169,15 +178,17 @@ class StderrSummarySink(TraceSink):
     def __init__(self, stream=None) -> None:
         self.stream = stream
         self.stats: dict[str, list[float]] = {}  # name -> [count, total, max]
+        self._lock = threading.Lock()
 
     def emit(self, span: SpanRecord) -> None:
-        agg = self.stats.get(span.name)
-        if agg is None:
-            self.stats[span.name] = [1, span.duration, span.duration]
-        else:
-            agg[0] += 1
-            agg[1] += span.duration
-            agg[2] = max(agg[2], span.duration)
+        with self._lock:
+            agg = self.stats.get(span.name)
+            if agg is None:
+                self.stats[span.name] = [1, span.duration, span.duration]
+            else:
+                agg[0] += 1
+                agg[1] += span.duration
+                agg[2] = max(agg[2], span.duration)
 
     def summary(self) -> str:
         lines = [f"{'span':<28s} {'count':>8s} {'total_s':>10s} {'max_s':>10s}"]
@@ -262,7 +273,24 @@ class Tracer:
         self.enabled = not isinstance(self.sink, NullSink)
         self._clock = clock or time.perf_counter
         self._next_id = 1
-        self._stack: list[_ActiveSpan] = []
+        self._id_lock = threading.Lock()
+        # Span nesting is tracked per thread: the serving front-end opens
+        # spans from scheduler/planner/RPC threads concurrently, and a
+        # shared stack would parent one thread's span under another's.
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_id(self) -> int:
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
 
     # ------------------------------------------------------------------
     def span(self, name: str, **tags):
@@ -273,34 +301,34 @@ class Tracer:
         """
         if not self.enabled:
             return _NOOP_SPAN
-        parent = self._stack[-1].record.span_id if self._stack else None
+        stack = self._stack
+        parent = stack[-1].record.span_id if stack else None
         record = SpanRecord(
             name=name,
             start=self._clock(),
             duration=0.0,
-            span_id=self._next_id,
+            span_id=self._new_id(),
             parent_id=parent,
             tags=dict(tags),
         )
-        self._next_id += 1
         active = _ActiveSpan(self, record)
-        self._stack.append(active)
+        stack.append(active)
         return active
 
     def event(self, name: str, **tags) -> None:
         """Emit a zero-duration span at the current position."""
         if not self.enabled:
             return
-        parent = self._stack[-1].record.span_id if self._stack else None
+        stack = self._stack
+        parent = stack[-1].record.span_id if stack else None
         record = SpanRecord(
             name=name,
             start=self._clock(),
             duration=0.0,
-            span_id=self._next_id,
+            span_id=self._new_id(),
             parent_id=parent,
             tags=dict(tags),
         )
-        self._next_id += 1
         self.sink.emit(record)
 
     def _finish(self, active: _ActiveSpan) -> None:

@@ -1,0 +1,52 @@
+"""Serving configuration: batching window, queue bounds, lifecycle knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one :class:`~repro.serve.server.SpGEMMServer`.
+
+    Parameters
+    ----------
+    window_s:
+        Batching window in seconds: after the first request of a batch
+        arrives, the dispatcher keeps collecting until the window
+        elapses (or ``max_batch`` requests are queued), so concurrent
+        submissions sharing a fingerprint coalesce into one
+        ``multiply_many`` call.  ``0`` disables the wait — each drain
+        takes whatever is queued at that instant (coalescing then
+        depends on queue pressure alone).
+    max_batch:
+        Largest request group dispatched as one ``multiply_many`` call;
+        bigger groups are split (bounds per-batch latency).
+    max_pending:
+        Admission bound: a submission finding this many requests queued
+        is load-shed with :class:`~repro.serve.errors.ServerOverloaded`.
+    autostart:
+        Start the dispatch thread on construction.  ``False`` leaves the
+        server paused — submissions queue (up to ``max_pending``) until
+        :meth:`~repro.serve.server.SpGEMMServer.start`, which is how
+        tests and benchmarks force deterministic maximal coalescing.
+    default_client:
+        Client label used for per-client stats when a submission names
+        none.
+    """
+
+    window_s: float = 0.002
+    max_batch: int = 32
+    max_pending: int = 256
+    autostart: bool = True
+    default_client: str = "anon"
+
+    def __post_init__(self) -> None:
+        if self.window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {self.window_s}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")

@@ -1,0 +1,69 @@
+"""Typed serving errors — the admission-control and lifecycle contract.
+
+Load shedding and shutdown are *expected* outcomes a client must be able
+to distinguish from computation failures, so each carries structured
+context (:meth:`ServeError.to_wire`) that the RPC layer forwards verbatim
+and :class:`~repro.serve.rpc.ServeClient` reconstructs into the same
+exception type on the caller's side.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServeError", "ServerOverloaded", "ServerClosed", "error_from_wire"]
+
+
+class ServeError(RuntimeError):
+    """Base class of all serving-layer errors."""
+
+    def context(self) -> dict:
+        """Structured payload forwarded over the wire (JSON-safe)."""
+        return {}
+
+    def to_wire(self) -> dict:
+        return {"type": type(self).__name__, "message": str(self), **self.context()}
+
+
+class ServerOverloaded(ServeError):
+    """Load shed: the bounded request queue is full.
+
+    The request was **not** enqueued; the client should back off and
+    retry.  ``queue_depth``/``max_pending`` describe the queue at
+    rejection time.
+    """
+
+    def __init__(self, queue_depth: int, max_pending: int) -> None:
+        super().__init__(
+            f"request queue full ({queue_depth}/{max_pending} pending); "
+            "load shed — back off and retry"
+        )
+        self.queue_depth = int(queue_depth)
+        self.max_pending = int(max_pending)
+
+    def context(self) -> dict:
+        return {"queue_depth": self.queue_depth, "max_pending": self.max_pending}
+
+
+class ServerClosed(ServeError):
+    """The server is shut down (or shutting down without draining)."""
+
+    def __init__(self, message: str = "server is closed") -> None:
+        super().__init__(message)
+
+
+def error_from_wire(payload: dict) -> Exception:
+    """Reconstruct a typed error from its wire form (RPC client side).
+
+    Unknown types degrade to a plain :class:`ServeError` carrying the
+    remote type name — the client never loses the message.
+    """
+    etype = payload.get("type", "ServeError")
+    message = payload.get("message", "remote error")
+    if etype == "ServerOverloaded":
+        return ServerOverloaded(
+            payload.get("queue_depth", 0), payload.get("max_pending", 0)
+        )
+    if etype == "ServerClosed":
+        return ServerClosed(message)
+    if etype == "ValueError":
+        return ValueError(message)
+    return ServeError(f"{etype}: {message}")

@@ -1,0 +1,45 @@
+"""JSON wire format for CSR matrices — exact, line-oriented, stdlib-only.
+
+One matrix is one JSON object::
+
+    {"shape": [r, c], "indptr": [...], "indices": [...], "values": [...]}
+
+Exactness: Python's ``json`` serialises floats with ``repr``, which since
+Python 3.1 is the *shortest round-tripping* representation — decoding
+gives back the identical IEEE-754 double, bit for bit.  Non-finite
+values use the ``NaN``/``Infinity`` tokens both directions.  The RPC
+layer therefore preserves the engine's bitwise-result contract across
+the socket.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.csr import CSRMatrix
+
+__all__ = ["matrix_to_wire", "matrix_from_wire"]
+
+
+def matrix_to_wire(A: CSRMatrix) -> dict:
+    """JSON-safe dict form of ``A`` (see module docstring)."""
+    return {
+        "shape": [A.shape[0], A.shape[1]],
+        "indptr": A.indptr.tolist(),
+        "indices": A.indices.tolist(),
+        "values": A.values.tolist(),
+    }
+
+
+def matrix_from_wire(d: dict) -> CSRMatrix:
+    """Rebuild a :class:`CSRMatrix` from its wire form (validated)."""
+    try:
+        shape = d["shape"]
+        return CSRMatrix(
+            np.asarray(d["indptr"], dtype=np.int64),
+            np.asarray(d["indices"], dtype=np.int64),
+            np.asarray(d["values"], dtype=np.float64),
+            (int(shape[0]), int(shape[1])),
+        )
+    except (KeyError, TypeError, IndexError) as exc:
+        raise ValueError(f"malformed wire matrix: {exc}") from exc

@@ -11,6 +11,7 @@ from .replay import (
     TraceSpec,
     replay,
     synthesize_trace,
+    trace_operands,
 )
 from .tallskinny import FrontierSequence, bc_frontiers
 
@@ -24,5 +25,6 @@ __all__ = [
     "Trace",
     "ReplayReport",
     "synthesize_trace",
+    "trace_operands",
     "replay",
 ]

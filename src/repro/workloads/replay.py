@@ -51,6 +51,7 @@ __all__ = [
     "Trace",
     "ReplayReport",
     "synthesize_trace",
+    "trace_operands",
     "replay",
     "POPULATION_BUILDERS",
 ]
@@ -290,6 +291,45 @@ class ReplayReport:
         return d
 
 
+def trace_operands(trace: Trace):
+    """Reconstruct the operand sequence of ``trace`` deterministically.
+
+    Yields ``(request, A, Bs)`` in stream order: each population member
+    starts from its builder, every request applies its ``value_seed``
+    jitter to produce the right-hand side(s), and churn requests first
+    apply their ``churn_seed`` dropout to the left operand — so two
+    walks of one trace produce bit-identical matrices in the same order.
+    ``Bs`` has one element for ``op == "multiply"`` and ``req.batch``
+    elements for ``op == "batch"``.
+
+    This is the single reconstruction path shared by :func:`replay` and
+    the serving driver (:mod:`repro.serve.driver`), which is what makes
+    "coalesced serving is bitwise-identical to sequential replay"
+    checkable at all.
+    """
+    builders = dict(POPULATION_BUILDERS)
+    spec = trace.spec
+    current: dict[str, object] = {}
+    for req in trace.requests:
+        A = current.get(req.matrix)
+        if A is None:
+            A = builders[req.matrix](spec.seed)
+            current[req.matrix] = A
+        if req.churn:
+            A = perturb_values(
+                A, scale=spec.value_jitter, seed=req.churn_seed, dropout=spec.churn_dropout
+            )
+            current[req.matrix] = A
+        if req.op == "batch":
+            Bs = [
+                perturb_values(A, scale=spec.value_jitter, seed=req.value_seed + j)
+                for j in range(req.batch)
+            ]
+        else:
+            Bs = [perturb_values(A, scale=spec.value_jitter, seed=req.value_seed)]
+        yield req, A, Bs
+
+
 def replay(
     trace: Trace,
     engine: "SpGEMMEngine | None" = None,
@@ -313,9 +353,6 @@ def replay(
     from ..engine import SpGEMMEngine
 
     eng = engine if engine is not None else SpGEMMEngine()
-    builders = dict(POPULATION_BUILDERS)
-    spec = trace.spec
-    current: dict[str, object] = {}
     report = ReplayReport(requests=len(trace.requests))
     s0 = eng.stats()
 
@@ -324,26 +361,13 @@ def replay(
 
     prev_cost = _model_cost(s0)
     t0 = _time.perf_counter()
-    for req in trace.requests:
-        A = current.get(req.matrix)
-        if A is None:
-            A = builders[req.matrix](spec.seed)
-            current[req.matrix] = A
+    for req, A, Bs in trace_operands(trace):
         if req.churn:
-            A = perturb_values(
-                A, scale=spec.value_jitter, seed=req.churn_seed, dropout=spec.churn_dropout
-            )
-            current[req.matrix] = A
             report.churn_events += 1
         if req.op == "batch":
-            Bs = [
-                perturb_values(A, scale=spec.value_jitter, seed=req.value_seed + j)
-                for j in range(req.batch)
-            ]
             eng.multiply_many(A, Bs)
         else:
-            B = perturb_values(A, scale=spec.value_jitter, seed=req.value_seed)
-            eng.multiply(A, B)
+            eng.multiply(A, Bs[0])
         snap = eng.stats()
         cost = _model_cost(snap)
         report.latency.observe(cost - prev_cost)

@@ -1,0 +1,6 @@
+"""RA002 violation in serve scope: unguarded tracer event on dispatch."""
+
+
+def dispatch(tracer, groups):
+    tracer.event("serve.batch", groups=len(groups))
+    return [g[0] for g in groups]

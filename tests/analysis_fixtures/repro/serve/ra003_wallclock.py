@@ -1,0 +1,8 @@
+"""RA003 violation in serve scope: wall clock stamped onto requests."""
+
+import time
+
+
+def stamp_request(req):
+    req.received_at = time.time()
+    return req

@@ -1,0 +1,20 @@
+"""RA007 clean: waits go through interruptible condition timeouts."""
+
+import threading
+import time
+
+
+class Waiter:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._queue = []
+
+    def next_item(self, window_s):
+        with self._cond:
+            deadline = time.monotonic() + window_s
+            while not self._queue:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return self._queue.pop(0)

@@ -1,0 +1,14 @@
+"""RA007 violations: blocking sleeps on the serving request path."""
+
+import time
+from time import sleep
+
+
+def poll_queue(queue):
+    while not queue:
+        time.sleep(0.01)  # busy-wait the dispatcher cannot interrupt
+    return queue.popleft()
+
+
+def backoff():
+    sleep(0.5)

@@ -215,6 +215,24 @@ class TestRuleFixtures:
     def test_ra006_clean(self):
         assert _active("repro/engine/ra006_clean.py", "RA006") == []
 
+    def test_ra002_applies_to_serve(self):
+        found = _active("repro/serve/ra002_unguarded.py", "RA002")
+        assert len(found) == 1 and found[0].line == 5
+
+    def test_ra003_applies_to_serve(self):
+        found = _active("repro/serve/ra003_wallclock.py", "RA003")
+        assert len(found) == 1 and "time.time" in found[0].message
+
+    def test_ra007_clean(self):
+        # Condition.wait(timeout) with a monotonic deadline is the
+        # sanctioned idiom — neither RA007 nor RA003 may fire on it.
+        assert _active("repro/serve/ra007_clean.py", "RA007", "RA003") == []
+
+    def test_ra007_sleeps(self):
+        found = _active("repro/serve/ra007_sleep.py", "RA007")
+        assert sorted(f.line for f in found) == [9, 14]
+        assert all("sleep" in f.message for f in found)
+
 
 class TestSuppressions:
     def test_round_trip(self):

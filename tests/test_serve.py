@@ -1,0 +1,271 @@
+"""Serving front-end tests (``repro.serve``, DESIGN.md §14).
+
+The load-bearing property is bitwise equivalence: a seeded trace
+replayed through the coalescing server must produce byte-identical
+products to the same trace run sequentially through ``engine.multiply``
+— including under forced backpressure, graceful shutdown drains, and
+worker-death degradation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.engine import SpGEMMEngine
+from repro.serve import (
+    BatchScheduler,
+    ServeConfig,
+    ServeRequest,
+    ServerClosed,
+    ServerOverloaded,
+    SpGEMMServer,
+    replay_sequential,
+    replay_through_server,
+    results_identical,
+)
+from repro.workloads import synthesize_trace
+
+from conftest import random_csr
+
+
+def paused_server(**cfg_kw) -> SpGEMMServer:
+    """A server whose dispatcher has not started: submissions queue up,
+    so the eventual ``start()`` coalesces maximally and deterministically."""
+    kw = {"window_s": 0.0, "autostart": False}
+    kw.update(cfg_kw)
+    return SpGEMMServer(SpGEMMEngine(), ServeConfig(**kw))
+
+
+class TestCoalescedEqualsSequential:
+    def test_replay_bitwise_identical(self):
+        trace = synthesize_trace(requests=30, seed=7)
+        server = paused_server()
+        try:
+            got = replay_through_server(server, trace)
+        finally:
+            server.close()
+        expected = replay_sequential(SpGEMMEngine(), trace)
+        assert len(got) == len(expected) > 0
+        assert results_identical(got, expected)
+        s = server.serving_stats()
+        assert s["completed"] == len(got)
+        # Everything queued before dispatch → Zipf repeats must coalesce.
+        assert s["coalesce_ratio"] > 1.0
+        assert s["batches"] < s["requests"]
+
+    def test_replay_identical_under_forced_backpressure(self):
+        trace = synthesize_trace(requests=30, seed=7)
+        server = paused_server(max_pending=3)
+        try:
+            # A driver trying to keep more requests in flight than the
+            # queue admits runs straight into admission control.
+            got = replay_through_server(server, trace, max_outstanding=10)
+            stats = server.serving_stats()
+        finally:
+            server.close()
+        assert results_identical(got, replay_sequential(SpGEMMEngine(), trace))
+        assert stats["shed"] > 0  # the tiny queue really did push back
+        assert stats["completed"] == len(got)
+
+    def test_concurrent_submitters_bitwise_identical(self):
+        """Racing client threads — no paused-queue determinism — still
+        get byte-identical products."""
+        A = random_csr(40, 40, 0.1, seed=11)
+        Bs = [random_csr(40, 40, 0.1, seed=100 + i) for i in range(12)]
+        expected = [SpGEMMEngine().multiply(A, B) for B in Bs]
+        server = SpGEMMServer(SpGEMMEngine(), ServeConfig(window_s=0.005))
+        got: list = [None] * len(Bs)
+        try:
+
+            def work(i: int) -> None:
+                got[i] = server.multiply(A, Bs[i], client=f"t{i % 3}")
+
+            threads = [threading.Thread(target=work, args=(i,)) for i in range(len(Bs))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            server.close()
+        assert results_identical(got, expected)
+
+
+class TestAdmissionControl:
+    def test_overload_is_typed_and_carries_context(self):
+        server = paused_server(max_pending=2)
+        A = random_csr(20, 20, 0.2, seed=1)
+        try:
+            server.submit(A)
+            server.submit(A)
+            with pytest.raises(ServerOverloaded) as ei:
+                server.submit(A)
+            assert ei.value.context()["max_pending"] == 2
+            assert ei.value.context()["queue_depth"] == 2
+            assert server.serving_stats()["shed"] == 1
+        finally:
+            server.close()  # drains the two accepted requests
+
+    def test_dimension_mismatch_rejected_before_enqueue(self):
+        server = paused_server()
+        try:
+            with pytest.raises(ValueError, match="inner dimensions"):
+                server.submit(random_csr(4, 6, 0.5, seed=2), random_csr(4, 6, 0.5, seed=3))
+            assert server.serving_stats()["requests"] == 0
+        finally:
+            server.close()
+
+    def test_submit_after_close_raises_server_closed(self):
+        server = paused_server()
+        server.close()
+        with pytest.raises(ServerClosed):
+            server.submit(random_csr(5, 5, 0.5, seed=4))
+
+
+class TestShutdown:
+    def test_close_drains_queued_requests(self):
+        server = paused_server()
+        A = random_csr(25, 25, 0.15, seed=5)
+        futures = [server.submit(A) for _ in range(4)]
+        server.close(drain=True)
+        ref = SpGEMMEngine().multiply(A)
+        assert results_identical([f.result(timeout=0) for f in futures], [ref] * 4)
+
+    def test_close_without_drain_fails_pending_futures(self):
+        server = paused_server()
+        futures = [server.submit(random_csr(25, 25, 0.15, seed=5)) for _ in range(3)]
+        server.close(drain=False)
+        for f in futures:
+            with pytest.raises(ServerClosed):
+                f.result(timeout=0)
+
+    def test_close_is_idempotent(self):
+        server = paused_server()
+        server.close()
+        server.close()
+
+
+class TestWorkerDeathDegradation:
+    def kill_dispatcher(self, server: SpGEMMServer) -> None:
+        def boom(groups):
+            raise RuntimeError("dispatch machinery died")
+
+        server._scheduler._run_batch = boom
+
+    def test_queued_requests_survive_dispatcher_death(self):
+        server = paused_server()
+        A = random_csr(30, 30, 0.12, seed=6)
+        futures = [server.submit(A) for _ in range(5)]
+        self.kill_dispatcher(server)
+        try:
+            server.start()  # the first drained batch kills the loop
+            results = [f.result(timeout=10) for f in futures]
+        finally:
+            server.close()
+        assert server.degraded
+        ref = SpGEMMEngine().multiply(A)
+        assert results_identical(results, [ref] * 5)
+
+    def test_submissions_after_death_run_in_process(self):
+        server = paused_server()
+        self.kill_dispatcher(server)
+        A = random_csr(30, 30, 0.12, seed=6)
+        server.submit(A)  # queued
+        server.start()
+        try:
+            # Wait for the dispatch thread to die draining that batch.
+            server._scheduler._thread.join(timeout=10)
+            assert server.degraded
+            C = server.multiply(A, timeout=0)  # resolved synchronously
+        finally:
+            server.close()
+        assert results_identical([C], [SpGEMMEngine().multiply(A)])
+        stats = server.serving_stats()
+        assert stats["degraded"] is True
+        assert stats["fallbacks"] >= 1
+        assert stats["failed"] == 0
+
+
+class TestSchedulerGrouping:
+    def request(self, key: tuple) -> ServeRequest:
+        A = random_csr(5, 5, 0.5, seed=8)
+        return ServeRequest(A=A, B=None, workload="a2", client="c", group_key=key)
+
+    def test_groups_preserve_arrival_order_and_split_at_max_batch(self):
+        cfg = ServeConfig(max_batch=2, autostart=False)
+        sched = BatchScheduler(lambda g: None, lambda r: None, cfg)
+        reqs = [self.request(("k1",)), self.request(("k2",)), self.request(("k1",)),
+                self.request(("k1",)), self.request(("k2",))]
+        groups = sched._group(reqs)
+        keys = [g[0].group_key for g in groups]
+        sizes = [len(g) for g in groups]
+        assert keys == [("k1",), ("k1",), ("k2",)]  # k1 first (arrived first), split 2+1
+        assert sizes == [2, 1, 2]
+
+    def test_window_zero_dispatches_immediately(self):
+        done = threading.Event()
+        cfg = ServeConfig(window_s=0.0, autostart=False)
+        sched = BatchScheduler(lambda g: done.set(), lambda r: None, cfg)
+        sched.start()
+        try:
+            sched.submit(self.request(("k",)))
+            assert done.wait(timeout=10)
+        finally:
+            sched.close()
+
+
+class TestStatsPlumbing:
+    def test_per_client_ledger(self):
+        server = paused_server()
+        A = random_csr(20, 20, 0.2, seed=9)
+        try:
+            server.submit(A, client="alpha")
+            server.submit(A, client="alpha")
+            server.submit(A, client="beta")
+            server.submit(A)  # default client name
+        finally:
+            server.close()
+        clients = server.client_stats()
+        assert list(clients) == sorted(clients)
+        assert clients["alpha"] == {"submitted": 2, "completed": 2, "failed": 0, "shed": 0}
+        assert clients["beta"]["completed"] == 1
+        assert clients[server.config.default_client]["completed"] == 1
+
+    def test_serving_block_lands_in_engine_stats_to_dict(self):
+        trace = synthesize_trace(requests=12, seed=3)
+        server = paused_server()
+        try:
+            replay_through_server(server, trace)
+            d = server.stats().to_dict()
+        finally:
+            server.close()
+        serving = d["serving"]
+        for key in ("requests", "completed", "shed", "coalesce_ratio",
+                    "queue_depth", "max_queue_depth", "latency_s", "clients"):
+            assert key in serving
+        lat = serving["latency_s"]
+        assert lat["count"] == serving["completed"] > 0
+        assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        json.dumps(d, allow_nan=False)  # the whole snapshot stays JSON-safe
+
+    def test_latency_percentiles_in_summary_lines(self):
+        server = paused_server()
+        A = random_csr(20, 20, 0.2, seed=10)
+        try:
+            server.submit(A)
+        finally:
+            server.close()
+        text = server.stats().summary()
+        assert "serving completed: 1" in text
+
+
+class TestServeConfigValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [dict(window_s=-0.1), dict(max_batch=0), dict(max_pending=0)],
+    )
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ValueError):
+            ServeConfig(**kw)

@@ -62,9 +62,12 @@ CASES = [
 ]
 
 
-def _time_execute(built, B, backend_ref: str, reps: int = 3) -> float:
+def _time_execute(built, B, backend_ref: str, reps: int = 5) -> float:
     """Best-of-``reps`` wall-clock seconds for one backend execution
-    (the shared :func:`repro.backends.time_execution` primitive)."""
+    (the shared :func:`repro.backends.time_execution` primitive).
+    Best-of-5: the sharded cells compare near-identical code paths
+    (width-1 passthrough *is* the inner backend), so the floor must be
+    tight enough that scheduler noise does not masquerade as overhead."""
     return time_execution(built, B, backend_ref, reps=reps)
 
 
@@ -113,7 +116,7 @@ def save_bench() -> dict:
         "backends",
         results,
         gate=gates,
-        config={"matrices": sorted(MATRICES), "sharded": SHARDED, "reps": 3},
+        config={"matrices": sorted(MATRICES), "sharded": SHARDED, "reps": 5},
     )
     return results
 
@@ -130,6 +133,14 @@ def test_backend_bench_meets_acceptance_bar():
                     best = max(best, cell["speedup_vs_reference"])
     assert best >= 2.0, f"fast backends peaked at {best:.2f}x vs reference"
     assert OUT_PATH.exists()
+    # ISSUE 9 acceptance: with the shm data plane (and the width-1
+    # topology passthrough on narrow hosts) ``sharded`` no longer loses
+    # to its inner backend at bench sizes.  The inner is ``reference``,
+    # so the geomean-vs-reference *is* the geomean-vs-inner; the floor
+    # leaves a noise margin below the ≥ 1.0 committed artefact numbers.
+    for case, gm in results["summary"].items():
+        if "@sharded" in case:
+            assert gm >= 0.9, f"sharded geomean vs inner fell to {gm:.3f} on {case}"
 
 
 if __name__ == "__main__":

@@ -17,6 +17,9 @@ RA006  no registry-bypassing constants: module-level tuples of
        component names in engine code (the PR 2 shims' failure mode)
 RA007  no blocking ``time.sleep`` on the serving request path: waits
        must go through interruptible condition/event timeouts
+RA008  shm confinement: ``SharedMemory`` is constructed/attached only
+       inside ``repro/backends/operand_store.py`` — everything else
+       handles descriptors through the store API
 =====  ===============================================================
 
 Path scoping matches *consecutive path components* (``repro/engine``),
@@ -544,7 +547,53 @@ class HotPathSleepRule(Rule):
 
 
 # ----------------------------------------------------------------------
-ALL_RULES = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007")
+# RA008 — shared-memory confinement
+# ----------------------------------------------------------------------
+class SharedMemoryConfinementRule(Rule):
+    id = "RA008"
+    title = "SharedMemory is constructed only in the operand store"
+
+    #: The one module allowed to own segment lifecycle (publish /
+    #: attach / unlink) — see its module docstring's confinement
+    #: contract.
+    _OWNER = ("repro", "backends", "operand_store.py")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (
+            ctx.is_python
+            and _in_repro(ctx)
+            and not path_has_parts(ctx, *self._OWNER)
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module and node.module.endswith("shared_memory") and any(
+                    alias.name == "SharedMemory" for alias in node.names
+                ):
+                    yield self.finding(
+                        ctx, node.lineno, node.col_offset,
+                        "importing SharedMemory outside the operand store: "
+                        "segment lifecycle (refcounts, eviction, unlink) has "
+                        "one auditable owner — go through "
+                        "repro.backends.operand_store's publish/attach API",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is not None and name.rsplit(".", 1)[-1] == "SharedMemory":
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f"raw {name}(...) outside the operand store: a segment "
+                    "created here escapes the store's pin/evict accounting "
+                    "and its guaranteed unlink-on-close; publish through "
+                    "repro.backends.operand_store instead",
+                )
+
+
+# ----------------------------------------------------------------------
+ALL_RULES = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007", "RA008")
 
 
 def default_rules(repo_root: Path, only: Iterable[str] | None = None) -> list[Rule]:
@@ -558,6 +607,7 @@ def default_rules(repo_root: Path, only: Iterable[str] | None = None) -> list[Ru
         PoolConfinementRule(),
         RegistryBypassRule(universe),
         HotPathSleepRule(),
+        SharedMemoryConfinementRule(),
     ]
     if only is not None:
         wanted = {r.strip().upper() for r in only}

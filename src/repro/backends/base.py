@@ -60,6 +60,13 @@ class ExecutionContext:
         Caller-suggested parallel width (``None`` = backend default).
     scratch:
         Backend-private workspace surviving across executions.
+    operand_tokens:
+        Digest hints installed by the engine: ``id(operand) →
+        "pattern:value"`` token (the same digests its plan/operand
+        cache keys use), scoped to the current call.  Backends that
+        keep operands resident across process boundaries (``sharded``)
+        use these as residency keys instead of re-hashing; absent
+        entries mean "compute the token yourself".
     tracer:
         Optional :class:`~repro.obs.Tracer`: when set (and enabled),
         :func:`repro.backends.execute` wraps each dispatch in a
@@ -72,6 +79,7 @@ class ExecutionContext:
     stats: dict[str, int] = field(default_factory=dict)
     workers: int | None = None
     scratch: dict[str, Any] = field(default_factory=dict)
+    operand_tokens: dict[int, str] = field(default_factory=dict)
     tracer: Any = None
 
     def bump(self, key: str, n: int = 1) -> None:

@@ -40,6 +40,7 @@ __all__ = [
     "DriftMonitor",
     "CalibrationTable",
     "BackendCalibrator",
+    "calibration_backend_key",
     "calibration_path",
     "size_bin",
     "row_bin",
@@ -248,6 +249,20 @@ def _bin_key(backend: str, kernel: str, n: int, nnz_row: float, density: float) 
     return f"{backend}|{kernel}|s{size_bin(n)}r{row_bin(nnz_row)}d{density_bin(density)}"
 
 
+def calibration_backend_key(backend: str, params: tuple = ()) -> str:
+    """Table key for a (possibly parameterised) backend.
+
+    Parameterised configurations calibrate separately —
+    ``"sharded:workers=2"`` and ``"sharded:workers=4"`` have different
+    break-even points — using the same canonical ``name:key=value``
+    rendering as plan labels, so planner lookups and calibrator writes
+    agree byte-for-byte.
+    """
+    if not params:
+        return backend
+    return f"{backend}:" + ",".join(f"{k}={v}" for k, v in params)
+
+
 def calibration_path():
     """On-disk calibration file, next to the persisted plans."""
     from .plan_cache import plan_cache_dir
@@ -296,8 +311,10 @@ class CalibrationTable:
 
         Falls back to the geomean of the backend's other measured bins
         for the same kernel (a coarse but *measured* estimate beats the
-        static hint), and to ``None`` — caller keeps the static hint —
-        when the backend was never calibrated at all.
+        static hint); a parameterised backend key
+        (``"sharded:workers=4"``) that was never calibrated falls back
+        to its bare-name measurements; ``None`` — caller keeps the
+        static hint — when nothing under the name was calibrated at all.
         """
         exact = self.entries.get(_bin_key(backend, kernel, n, nnz_row, density))
         if exact is not None and exact > 0 and math.isfinite(exact):
@@ -305,6 +322,9 @@ class CalibrationTable:
         prefix = f"{backend}|{kernel}|"
         others = [v for k, v in self.entries.items() if k.startswith(prefix) and v > 0]
         if not others:
+            base = backend.partition(":")[0]
+            if base != backend:
+                return self.factor(base, kernel, n=n, nnz_row=nnz_row, density=density)
             return None
         return math.exp(sum(math.log(v) for v in others) / len(others))
 
@@ -406,6 +426,14 @@ class BackendCalibrator:
     backends:
         Backend names to calibrate; default = every planner-ranked
         backend (the ones ``backend="auto"`` may pick).
+    pool_configs:
+        Parameterised backend specs calibrated *in addition* to the
+        planner-ranked set — by default the ``sharded`` pool
+        configuration the benches pin (``"sharded:workers=2"``).  The
+        shm data plane made these worth measuring: with operands
+        resident, the pool's factor reflects compute topology rather
+        than per-call pickling.  Each spec lands in the table under its
+        canonical :func:`calibration_backend_key`.
     tracer:
         Optional :class:`~repro.obs.Tracer`: an enabled tracer wraps the
         whole run in a ``calibration.calibrate`` span and emits one
@@ -419,12 +447,16 @@ class BackendCalibrator:
         ("cluster", "original+fixed:8+cluster"),
     )
 
+    #: Default parameterised pool specs worth their own table rows.
+    POOL_CONFIGS = ("sharded:workers=2",)
+
     def __init__(
         self,
         *,
         reps: int = 3,
         seed: int = 0,
         backends: tuple[str, ...] | None = None,
+        pool_configs: tuple[str, ...] | None = None,
         tracer=None,
     ) -> None:
         from ..obs import NOOP_TRACER
@@ -434,6 +466,7 @@ class BackendCalibrator:
         self.reps = int(reps)
         self.seed = int(seed)
         self._backends = backends
+        self.pool_configs = self.POOL_CONFIGS if pool_configs is None else tuple(pool_configs)
         self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     def backends(self) -> tuple[str, ...]:
@@ -443,12 +476,22 @@ class BackendCalibrator:
 
         return tuple(c.name for c in components("backend", planned=True))
 
+    def _specs(self) -> tuple[tuple[str, str, tuple], ...]:
+        """Everything to measure, as ``(table_key, name, params)``."""
+        from ..backends import parse_backend
+
+        out = []
+        for ref in (*self.backends(), *self.pool_configs):
+            name, params = parse_backend(ref)
+            out.append((calibration_backend_key(name, params), name, params))
+        return tuple(out)
+
     # ------------------------------------------------------------------
-    def _time_execution(self, built, B, backend: str) -> float:
+    def _time_execution(self, built, B, backend_ref) -> float:
         """Best-of-``reps`` wall-clock seconds for one backend execution."""
         from ..backends import time_execution
 
-        return time_execution(built, B, backend, reps=self.reps)
+        return time_execution(built, B, backend_ref, reps=self.reps)
 
     def calibrate(self, *, previous: CalibrationTable | None = None) -> CalibrationTable:
         """Run the micro-benchmarks and assemble the table.
@@ -472,17 +515,17 @@ class BackendCalibrator:
                 for kernel, spec_text in self.KERNEL_SPECS:
                     built = PipelineSpec.parse(spec_text).build(A)
                     t_ref = self._time_execution(built, A, "reference")
-                    for backend in self.backends():
-                        if backend == "reference" or not backend_supports(backend, (), kernel):
+                    for table_key, name, params in self._specs():
+                        if name == "reference" or not backend_supports(name, params, kernel):
                             continue
-                        seconds = self._time_execution(built, A, backend)
-                        key = _bin_key(backend, kernel, A.nrows, nnz_row, density)
+                        seconds = self._time_execution(built, A, (name, params))
+                        key = _bin_key(table_key, kernel, A.nrows, nnz_row, density)
                         samples.setdefault(key, []).append(seconds / t_ref if t_ref > 0 else 1.0)
                         # repro: allow[RA002] one event per calibration sample, off the multiply hot path; the disabled tracer's event() no-ops
                         self.tracer.event(
                             "calibration.sample",
                             matrix=_label,
-                            backend=backend,
+                            backend=table_key,
                             kernel=kernel,
                             seconds=seconds,
                         )

@@ -486,20 +486,32 @@ class Planner:
             )
         return cands
 
-    def _backend_factor(self, backend: str, *, kernel: str = "rowwise", A: CSRMatrix | None = None) -> float:
+    def _backend_factor(
+        self,
+        backend: str,
+        *,
+        kernel: str = "rowwise",
+        A: CSRMatrix | None = None,
+        params: tuple = (),
+    ) -> float:
         """The backend's relative-speed factor.
 
         With a :class:`~repro.engine.adaptive.CalibrationTable` this is
         the *measured* wall-clock ratio for the matrix's
         ``(n, nnz/row, density)`` bin; otherwise (or for bins the
         calibration never visited) the static ``model_speed_factor``
-        registry hint.
+        registry hint.  Parameterised backends look up their
+        configuration-specific row first (pool widths calibrate
+        separately), falling back to the bare name inside
+        :meth:`~repro.engine.adaptive.CalibrationTable.factor`.
         """
         static = get_component("backend", backend).model_speed_factor
         if self.calibration is None or A is None or backend == "reference":
             return static
+        from .adaptive import calibration_backend_key
+
         measured = self.calibration.factor(
-            backend,
+            calibration_backend_key(backend, params),
             kernel,
             n=A.nrows,
             nnz_row=A.nnz / max(1, A.nrows),
@@ -509,7 +521,9 @@ class Planner:
 
     def _candidate_factor_fn(self, A: CSRMatrix):
         """Per-candidate backend-factor resolver for the cost estimator."""
-        return lambda cand: self._backend_factor(cand.backend, kernel=cand.kernel, A=A)
+        return lambda cand: self._backend_factor(
+            cand.backend, kernel=cand.kernel, A=A, params=cand.backend_params
+        )
 
     def _measure(self, A: CSRMatrix, B: CSRMatrix, cand: Candidate) -> tuple[float, PreparedOperand]:
         """Materialise ``cand`` and simulate one multiply (model time).
@@ -544,7 +558,11 @@ class Planner:
             res = self.machine.run_clusterwise(prep.Ac, B)
         else:
             res = self.machine.run_rowwise(prep.Ar, B)
-        return res.time * self._backend_factor(cand.backend, kernel=cand.kernel, A=A), prep
+        return (
+            res.time
+            * self._backend_factor(cand.backend, kernel=cand.kernel, A=A, params=cand.backend_params),
+            prep,
+        )
 
     def _baseline(self, A: CSRMatrix, B: CSRMatrix) -> float:
         return self.machine.run_rowwise(A, B).time
@@ -876,7 +894,9 @@ class PipelinePlanner(Planner):
         cand = Candidate(
             spec.reordering, spec.clustering, spec.kernel, spec.backend, spec.backend_params
         )
-        factor = self._backend_factor(spec.backend, kernel=spec.kernel, A=A)
+        factor = self._backend_factor(
+            spec.backend, kernel=spec.kernel, A=A, params=spec.backend_params
+        )
         return cand, res.time * factor, prep, 0.0
 
     def _assemble(self, cand, prep, fp, workload, *, predicted, baseline, planning):

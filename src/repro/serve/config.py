@@ -35,6 +35,16 @@ class ServeConfig:
     default_client:
         Client label used for per-client stats when a submission names
         none.
+    max_restarts:
+        How many times a dead dispatch thread may be restarted
+        (:meth:`~repro.serve.scheduler.BatchScheduler.restart`) before
+        the server degrades to in-process execution permanently.  ``0``
+        disables restarts (the pre-restart behaviour).
+    restart_backoff_s:
+        Initial restart backoff: after a restart, further attempts are
+        deadline-gated (monotonic clock, never a sleep) and the gate
+        doubles on every restart — a crash-looping dispatcher decays to
+        in-process fallback instead of thrashing threads.
     """
 
     window_s: float = 0.002
@@ -42,6 +52,8 @@ class ServeConfig:
     max_pending: int = 256
     autostart: bool = True
     default_client: str = "anon"
+    max_restarts: int = 2
+    restart_backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.window_s < 0:
@@ -50,3 +62,9 @@ class ServeConfig:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.restart_backoff_s < 0:
+            raise ValueError(
+                f"restart_backoff_s must be >= 0, got {self.restart_backoff_s}"
+            )

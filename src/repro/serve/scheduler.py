@@ -91,6 +91,7 @@ class BatchScheduler:
         self._thread: threading.Thread | None = None
         self._closing = False
         self._dead = False
+        self._restarts = 0  # lifetime restart() successes (under _cond)
         self.max_depth = 0  # high-water mark of the queue (under _cond)
 
     # ------------------------------------------------------------------
@@ -113,6 +114,35 @@ class BatchScheduler:
     @property
     def dead(self) -> bool:
         return self._dead
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts
+
+    def restart(self) -> bool:
+        """Bounded dead-dispatcher recovery: clear the dead flag and
+        start a fresh dispatch thread.
+
+        Returns ``False`` — leaving the scheduler in degraded mode —
+        when the scheduler is not dead, is closing, or has exhausted its
+        :attr:`ServeConfig.max_restarts` budget.  By the time the
+        dispatcher died it had already drained its queue through the
+        fallback callback, so the new thread starts from an empty queue
+        and ordinary :meth:`submit`/:meth:`close` semantics (including
+        ``close(drain=True)``) resume unchanged.
+        """
+        with self._cond:
+            if not self._dead or self._closing:
+                return False
+            if self._restarts >= self.cfg.max_restarts:
+                return False
+            self._restarts += 1
+            self._dead = False
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-serve-dispatch", daemon=True
+            )
+            self._thread.start()
+            return True
 
     def depth(self) -> int:
         with self._cond:

@@ -79,6 +79,7 @@ class SpGEMMServer:
         self._shed = self.registry.counter("serve.shed")
         self._failed = self.registry.counter("serve.failed")
         self._fallbacks = self.registry.counter("serve.fallbacks")
+        self._restarts = self.registry.counter("serve.dispatcher_restarts")
         self._batches = self.registry.counter("serve.batches")
         self._coalesced = self.registry.counter("serve.coalesced_requests")
         self._clients: dict[str, dict] = {}
@@ -92,6 +93,12 @@ class SpGEMMServer:
         self._planner_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-planner"
         )
+        #: Restart backoff state (monotonic deadline — never a sleep):
+        #: attempts before the deadline skip straight to in-process
+        #: fallback; the gate doubles on every granted restart.
+        self._restart_lock = threading.Lock()
+        self._restart_backoff_s = self.config.restart_backoff_s
+        self._next_restart_at = 0.0
         self._closed = False
         self._scheduler = BatchScheduler(self._run_batch, self._run_inprocess, self.config)
         if self.config.autostart:
@@ -146,12 +153,43 @@ class SpGEMMServer:
             self._shed.inc()
             self._client_bump(name, "shed")
             raise
+        if not accepted and self._try_restart():
+            # Dispatcher died but a bounded restart succeeded: resubmit
+            # to the fresh dispatch thread (admission re-checked).
+            try:
+                accepted = self._scheduler.submit(req)
+            except ServerOverloaded:
+                self._shed.inc()
+                self._client_bump(name, "shed")
+                raise
         if not accepted:
             # Dispatcher dead: degrade to synchronous in-process
             # execution on the caller's thread (sharded-fallback idiom).
             self._fallbacks.inc()
             self._run_inprocess(req)
         return req.future
+
+    def _try_restart(self) -> bool:
+        """One backoff-gated :meth:`BatchScheduler.restart` attempt.
+
+        Never blocks: before the current monotonic deadline the attempt
+        is skipped (the caller falls back in-process), and each granted
+        restart doubles the gate — a crash-looping dispatcher converges
+        to permanent degraded mode once
+        :attr:`ServeConfig.max_restarts` is spent.
+        """
+        with self._restart_lock:
+            now = time.monotonic()
+            if now < self._next_restart_at:
+                return False
+            if not self._scheduler.restart():
+                return False
+            self._next_restart_at = now + self._restart_backoff_s
+            self._restart_backoff_s *= 2
+        self._restarts.inc()
+        if self.tracer.enabled:
+            self.tracer.event("serve.dispatcher_restart", restarts=int(self._restarts.value))
+        return True
 
     def multiply(
         self,
@@ -290,6 +328,7 @@ class SpGEMMServer:
             "shed": self._shed.value,
             "failed": self._failed.value,
             "fallbacks": self._fallbacks.value,
+            "dispatcher_restarts": self._restarts.value,
             "batches": batches,
             "coalesced_requests": coalesced,
             # Mean requests per engine dispatch — 1.0 means no

@@ -1,0 +1,8 @@
+"""RA008 owner exemption: this path *is* the operand store, so raw
+SharedMemory construction here is the sanctioned single owner."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def create(size):
+    return SharedMemory(create=True, size=size)

@@ -1,0 +1,12 @@
+"""RA008 clean: segments go through the operand store's API."""
+
+from repro.backends import operand_store as ostore
+
+
+def publish(token, arrays, store):
+    descriptor = store.publish(token, arrays)
+    return descriptor
+
+
+def attach(descriptor):
+    return ostore.attach_views(descriptor)

@@ -1,0 +1,12 @@
+"""RA008 violations: raw SharedMemory use outside the operand store."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def make_segment(size):
+    return SharedMemory(create=True, size=size)
+
+
+def attach_segment(name):
+    return shared_memory.SharedMemory(name=name)

@@ -138,6 +138,25 @@ def test_table_factor_exact_fallback_and_absent():
     ).entries == {"scipy|rowwise|s2r1d0": 0.05}
 
 
+def test_table_factor_parameterised_backend_keys():
+    from repro.engine.adaptive import calibration_backend_key
+
+    assert calibration_backend_key("scipy") == "scipy"
+    assert (
+        calibration_backend_key("sharded", (("inner", "scipy"), ("workers", 2)))
+        == "sharded:inner=scipy,workers=2"
+    )
+    table = CalibrationTable(
+        entries={"sharded:workers=2|cluster|s1r1d1": 0.9, "sharded|cluster|s1r1d1": 0.6}
+    )
+    # The configuration-specific row wins over the bare name.
+    assert table.factor("sharded:workers=2", "cluster", n=500, nnz_row=8, density=0.02) == 0.9
+    # An uncalibrated configuration falls back to bare-name rows.
+    assert table.factor("sharded:workers=4", "cluster", n=500, nnz_row=8, density=0.02) == 0.6
+    # Nothing under the name at all → None.
+    assert table.factor("sharded:workers=4", "rowwise", n=500, nnz_row=8, density=0.02) is None
+
+
 def test_table_roundtrip_and_epoch(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
@@ -185,6 +204,18 @@ def test_calibrator_measures_planner_ranked_backends(calibration_table):
     assert calibration_table.epoch == 1
     # Re-calibrating against a previous table advances the epoch.
     assert BackendCalibrator(reps=1).calibrate(previous=calibration_table).epoch == 2
+
+
+def test_calibrator_measures_sharded_pool_configs(calibration_table):
+    # The PR 4 remainder: with the shm data plane, sharded pool
+    # configurations are worth their own calibration rows (keyed by the
+    # canonical parameterised spec), not a guessed static factor.
+    backends = {key.split("|")[0] for key in calibration_table.entries}
+    assert "sharded:workers=2" in backends
+    assert BackendCalibrator().pool_configs == ("sharded:workers=2",)
+    # An explicit empty tuple opts out.
+    lean = BackendCalibrator(reps=1, pool_configs=())
+    assert all(name != "sharded:workers=2" for name, _, _ in lean._specs())
 
 
 def test_calibration_matrices_cover_the_top_size_bin(calibration_table):

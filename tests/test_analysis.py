@@ -233,6 +233,19 @@ class TestRuleFixtures:
         assert sorted(f.line for f in found) == [9, 14]
         assert all("sleep" in f.message for f in found)
 
+    def test_ra008_raw_shm(self):
+        found = _active("repro/backends/ra008_raw_shm.py", "RA008")
+        # The import-from plus both call forms fire.
+        assert sorted(f.line for f in found) == [4, 8, 12]
+        assert all("operand store" in f.message or "operand_store" in f.message for f in found)
+
+    def test_ra008_clean(self):
+        assert _active("repro/backends/ra008_clean.py", "RA008") == []
+
+    def test_ra008_owner_module_is_exempt(self):
+        # repro/backends/operand_store.py is the one sanctioned owner.
+        assert _active("repro/backends/operand_store.py", "RA008") == []
+
 
 class TestSuppressions:
     def test_round_trip(self):

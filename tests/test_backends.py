@@ -206,13 +206,13 @@ def test_sharded_falls_back_in_process_when_pool_unavailable(monkeypatch):
     from repro.backends import sharded as sh_mod
     from repro.backends.sharded import ShardedBackend
 
+    monkeypatch.setenv(sh_mod.CORES_ENV, "2")  # force a pool on any host
+
     class BrokenPool:
         def __init__(self, *a, **kw):
             raise OSError("no processes in this sandbox")
 
-    import concurrent.futures
-
-    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", BrokenPool)
+    monkeypatch.setattr(sh_mod, "_ShardWorkerPool", BrokenPool)
     be = ShardedBackend(workers=2)
     built = PipelineSpec.parse("rcm+fixed:8+cluster").build(A)
     ctx = ExecutionContext()
@@ -227,11 +227,11 @@ def test_sharded_falls_back_in_process_when_pool_unavailable(monkeypatch):
 def test_sharded_retries_a_fresh_pool_after_transient_failure(monkeypatch):
     # One broken pool must not disable sharding for the rest of the
     # process: the next execution gets a fresh pool.
-    import concurrent.futures
-
+    from repro.backends import sharded as sh_mod
     from repro.backends.sharded import ShardedBackend
 
-    real_pool = concurrent.futures.ProcessPoolExecutor
+    monkeypatch.setenv(sh_mod.CORES_ENV, "2")  # force a pool on any host
+    real_pool = sh_mod._ShardWorkerPool
     calls = {"n": 0}
 
     class FlakyPool:
@@ -241,7 +241,7 @@ def test_sharded_retries_a_fresh_pool_after_transient_failure(monkeypatch):
                 raise OSError("transient spawn failure")
             return real_pool(*a, **kw)
 
-    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", FlakyPool)
+    monkeypatch.setattr(sh_mod, "_ShardWorkerPool", FlakyPool)
     be = ShardedBackend(workers=2)
     built = PipelineSpec.parse("rcm").build(A)
     ctx = ExecutionContext()
@@ -269,6 +269,154 @@ def test_sharded_env_kill_switch_runs_in_process(monkeypatch):
     # Deliberate in-process execution is not a pool *fallback*.
     assert "sharded_pool_fallbacks" not in ctx.stats
     assert ctx.stats["reference_calls"] == ctx.stats["sharded_shards"]
+
+
+# ----------------------------------------------------------------------
+# Sharded: forced worker pool (shm data plane)
+# ----------------------------------------------------------------------
+def _pool_run(be, built, B, kernel, kernel_params):
+    ctx = ExecutionContext()
+    C = be.execute(built, B, kernel=kernel, kernel_params=dict(kernel_params), ctx=ctx)
+    if built.inv is not None:
+        C = C.permute_rows(built.inv)
+    return C, ctx
+
+
+def test_sharded_pool_matches_inprocess_across_inners(monkeypatch):
+    # Bitwise identity pool-vs-in-process for every inner backend the CI
+    # matrix exercises; scipy is pattern-identical + allclose (its own
+    # contract), everything else must be byte-for-byte.
+    from repro.backends import operand_store as ostore
+    from repro.backends.sharded import ShardedBackend
+
+    monkeypatch.setenv("REPRO_SHARDED_CORES", "3")
+    cases = [
+        ("rcm", "rowwise", {"accumulator": "sort"}, "reference", True),
+        ("rcm+fixed:8+cluster", "cluster", {}, "reference", True),
+        ("rcm+fixed:8+cluster", "cluster", {}, "vectorized", True),
+        ("rcm+fixed:8+cluster", "cluster", {}, "scipy", False),
+    ]
+    for spec, kernel, params, inner, bitwise in cases:
+        built = PipelineSpec.parse(spec).build(A)
+        be = ShardedBackend(workers=3, inner=inner)
+        try:
+            C_pool, ctx = _pool_run(be, built, A, kernel, params)
+            assert "sharded_pool_fallbacks" not in ctx.stats, (spec, inner)
+            monkeypatch.setenv("REPRO_SHARDED_INPROCESS", "1")
+            C_seq, _ = _pool_run(be, built, A, kernel, params)
+            monkeypatch.delenv("REPRO_SHARDED_INPROCESS")
+            assert C_pool.same_pattern(C_seq), (spec, inner)
+            if bitwise:
+                assert np.array_equal(C_pool.values, C_seq.values), (spec, inner)
+            else:
+                assert C_pool.allclose(C_seq), (spec, inner)
+        finally:
+            be.close()
+    assert ostore.leaked_segments() == []
+
+
+def test_sharded_pool_warm_calls_ship_nothing(monkeypatch):
+    # The PR's acceptance number: repeated multiplies against the same B
+    # must cut per-call serialized operand bytes >= 10x.  With shm
+    # residency the warm-call shipped delta is zero — only descriptors
+    # cross the pipe.
+    from repro.backends.sharded import ShardedBackend
+
+    monkeypatch.setenv("REPRO_SHARDED_CORES", "3")
+    be = ShardedBackend(workers=3)  # dedicated instance: cold store
+    built = PipelineSpec.parse("rcm+fixed:8+cluster").build(A)
+    try:
+        _, ctx1 = _pool_run(be, built, A, "cluster", {})
+        cold = ctx1.stats["sharded_bytes_shipped"]
+        assert cold > 0 and ctx1.stats.get("sharded_bytes_reused", 0) == 0
+        _, ctx2 = _pool_run(be, built, A, "cluster", {})
+        warm = ctx2.stats.get("sharded_bytes_shipped", 0)
+        assert ctx2.stats["sharded_bytes_reused"] >= cold  # resident hits
+        assert warm * 10 <= cold  # >= 10x reduction (delta is in fact 0)
+    finally:
+        be.close()
+
+
+def test_sharded_pool_inner_spec_round_trips_to_workers(monkeypatch):
+    # Satellite of the pickling fix: the parsed inner spec (name +
+    # params) reaches the worker processes, which construct the same
+    # inner backend — not a default-params lookalike.
+    from repro.backends.sharded import ShardedBackend
+
+    monkeypatch.setenv("REPRO_SHARDED_CORES", "3")
+    name, params = parse_backend("vectorized")
+    be = ShardedBackend(workers=3, inner="vectorized")
+    assert (be.inner_name, be.inner_params) == (name, params)
+    assert be.inner is get_backend(name, params)
+    built = PipelineSpec.parse("rcm+fixed:8+cluster").build(A)
+    try:
+        C, ctx = _pool_run(be, built, A, "cluster", {})
+        assert "sharded_pool_fallbacks" not in ctx.stats
+        assert _bitwise(C)
+    finally:
+        be.close()
+
+
+def test_sharded_worker_kernel_error_reraises_without_fallback(monkeypatch):
+    # A deterministic compute error in a worker must re-raise in the
+    # parent (classified as non-infra) — never silently re-execute the
+    # shards in-process.  The poison patch rides into the workers via
+    # fork, firing only off the parent pid, so the leader's shard 0
+    # succeeds while every worker shard raises.
+    import os as _os
+
+    from repro.backends.reference import ReferenceBackend
+    from repro.backends.sharded import ShardedBackend
+
+    monkeypatch.setenv("REPRO_SHARDED_CORES", "3")
+    parent = _os.getpid()
+    real_exec = ReferenceBackend.execute
+
+    def poisoned(self, operand, B, **kw):
+        if _os.getpid() != parent:
+            raise ValueError("poisoned shard kernel")
+        return real_exec(self, operand, B, **kw)
+
+    monkeypatch.setattr(ReferenceBackend, "execute", poisoned)
+    be = ShardedBackend(workers=3)
+    built = PipelineSpec.parse("rcm").build(A)
+    ctx = ExecutionContext()
+    try:
+        with pytest.raises(ValueError, match="poisoned shard kernel"):
+            be.execute(
+                built, A, kernel="rowwise", kernel_params={"accumulator": "sort"}, ctx=ctx
+            )
+        assert "sharded_pool_fallbacks" not in ctx.stats  # no double execution
+    finally:
+        be.close()
+
+
+def test_sharded_pool_recovers_from_sigkilled_worker(monkeypatch):
+    # Kill -9 a worker between calls: the next execute detects the dead
+    # pool, rebuilds it, and the fresh workers re-attach the *resident*
+    # segments (reuse, not a fallback).  Nothing leaks in /dev/shm.
+    import signal
+
+    from repro.backends import operand_store as ostore
+    from repro.backends.sharded import ShardedBackend
+
+    monkeypatch.setenv("REPRO_SHARDED_CORES", "3")
+    be = ShardedBackend(workers=3)
+    built = PipelineSpec.parse("rcm").build(A)
+    try:
+        C1, ctx1 = _pool_run(be, built, A, "rowwise", {"accumulator": "sort"})
+        import os as _os
+
+        victim = be._pool.workers[0].proc
+        _os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5)
+        C2, ctx2 = _pool_run(be, built, A, "rowwise", {"accumulator": "sort"})
+        assert "sharded_pool_fallbacks" not in ctx2.stats  # rebuilt, not degraded
+        assert ctx2.stats["sharded_bytes_reused"] > 0  # segments survived
+        assert _bitwise(C1) and _bitwise(C2)
+    finally:
+        be.close()
+    assert ostore.leaked_segments() == []
 
 
 # ----------------------------------------------------------------------

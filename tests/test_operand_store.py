@@ -1,0 +1,168 @@
+"""Shared-memory operand store tests (``repro.backends.operand_store``).
+
+The load-bearing properties: published arrays round-trip bitwise
+through a descriptor + attach, residency is keyed by token (second
+publish ships nothing), pinned segments survive eviction pressure, and
+**no** ``/dev/shm`` segment outlives the store — whether it is closed
+explicitly, finalized by the GC, or its consumer worker is SIGKILLed.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.backends.operand_store as ostore
+from repro.backends.operand_store import (
+    OperandStore,
+    SegmentDescriptor,
+    attach_views,
+    detach_segment,
+    leaked_segments,
+    read_result,
+    write_result,
+)
+
+
+def sample_arrays(seed: int = 0, n: int = 64) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "indptr": np.arange(n + 1, dtype=np.int64),
+        "indices": rng.integers(0, n, size=n, dtype=np.int32),
+        "values": rng.standard_normal(n),
+    }
+
+
+@pytest.fixture
+def store():
+    s = OperandStore()
+    yield s
+    s.close()
+    assert leaked_segments() == []
+
+
+class TestPublishRoundTrip:
+    def test_attach_views_bitwise(self, store):
+        arrays = sample_arrays()
+        desc = store.publish("tok:a", arrays, meta=(("kind", "csr"),))
+        views = attach_views(desc)
+        try:
+            assert set(views) == set(arrays)
+            for field, arr in arrays.items():
+                assert views[field].dtype == arr.dtype
+                assert np.array_equal(views[field], arr)
+                assert not views[field].flags.writeable
+            assert desc.meta_dict() == {"kind": "csr"}
+        finally:
+            detach_segment(desc.name)
+
+    def test_descriptor_pickles(self, store):
+        desc = store.publish("tok:p", sample_arrays(1))
+        clone = pickle.loads(pickle.dumps(desc))
+        assert clone == desc
+        views = attach_views(clone)  # attach via the pickled copy
+        try:
+            assert np.array_equal(views["values"], sample_arrays(1)["values"])
+        finally:
+            detach_segment(clone.name)
+
+    def test_residency_same_token_same_segment(self, store):
+        d1 = store.publish("tok:b", sample_arrays(2))
+        d2 = store.publish("tok:b", sample_arrays(2))
+        assert d2 is d1 or d2.name == d1.name  # nothing new shipped
+        assert store.get("tok:b").name == d1.name
+        assert store.get("missing") is None
+        assert store.resident_tokens() == ("tok:b",)
+
+
+class TestPinningAndEviction:
+    def test_pin_blocks_evict(self, store):
+        desc = store.publish("tok:c", sample_arrays(3))
+        store.pin("tok:c")
+        assert not store.evict("tok:c")
+        assert store.get("tok:c") is not None
+        store.unpin("tok:c")
+        assert store.evict("tok:c")
+        assert store.get("tok:c") is None
+        assert desc.name not in leaked_segments()
+
+    def test_budget_sweep_is_lru_and_skips_pinned(self):
+        arrays = sample_arrays()
+        one = sum(a.nbytes for a in arrays.values()) + 64
+        store = OperandStore(budget_bytes=2 * one)
+        try:
+            store.publish("tok:1", arrays)
+            store.publish("tok:2", arrays)
+            store.pin("tok:1")
+            store.get("tok:2")  # touch: tok:2 is now most recent
+            store.publish("tok:3", arrays)  # over budget → sweep
+            tokens = store.resident_tokens()
+            assert "tok:1" in tokens  # pinned: never swept
+            assert "tok:3" in tokens  # just published
+            assert "tok:2" not in tokens  # oldest unpinned victim
+        finally:
+            store.close()
+        assert leaked_segments() == []
+
+    def test_drain_evictions_per_consumer(self, store):
+        store.register_consumer(0)
+        store.register_consumer(1)
+        store.publish("tok:d", sample_arrays(4))
+        store.evict("tok:d")
+        assert store.drain_evictions(0) == ("tok:d",)
+        assert store.drain_evictions(0) == ()  # drained once
+        assert store.drain_evictions(1) == ("tok:d",)  # independent
+        assert store.drain_evictions(99) == ()  # unknown consumer
+
+
+class TestResultArena:
+    def test_write_read_round_trip(self, store):
+        arena = store.create_arena(1 << 16)
+        try:
+            arrays = list(sample_arrays(5).values())
+            metas = write_result(arena.shm, arrays)
+            assert metas is not None
+            got = read_result(arena, metas)
+            for src, dst in zip(arrays, got):
+                assert np.array_equal(src, dst)
+        finally:
+            store.release_arena(arena)
+        assert arena.name not in leaked_segments()
+
+    def test_write_reports_overflow(self, store):
+        arena = store.create_arena(4096)
+        try:
+            big = np.zeros(1 << 16, dtype=np.float64)
+            assert write_result(arena.shm, [big]) is None  # caller grows
+        finally:
+            store.release_arena(arena)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_unlinks_everything(self):
+        store = OperandStore()
+        store.publish("tok:e", sample_arrays(6))
+        store.create_arena(4096)
+        store.close()
+        assert leaked_segments() == []
+        store.close()  # second close is a no-op
+        assert store.resident_tokens() == ()
+
+    def test_finalizer_unlinks_without_close(self):
+        store = OperandStore()
+        store.publish("tok:f", sample_arrays(7))
+        del store
+        gc.collect()
+        assert leaked_segments() == []
+
+    def test_segment_names_carry_grep_prefix(self):
+        store = OperandStore()
+        try:
+            desc = store.publish("tok:g", sample_arrays(8))
+            assert desc.name.startswith(ostore.SEGMENT_PREFIX)
+            assert desc.name in leaked_segments()  # visible while live
+        finally:
+            store.close()

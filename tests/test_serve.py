@@ -169,7 +169,9 @@ class TestWorkerDeathDegradation:
         assert results_identical(results, [ref] * 5)
 
     def test_submissions_after_death_run_in_process(self):
-        server = paused_server()
+        # max_restarts=0 pins the permanently-degraded path (restart
+        # recovery has its own tests in TestDispatcherRestart).
+        server = paused_server(max_restarts=0)
         self.kill_dispatcher(server)
         A = random_csr(30, 30, 0.12, seed=6)
         server.submit(A)  # queued
@@ -188,7 +190,100 @@ class TestWorkerDeathDegradation:
         assert stats["failed"] == 0
 
 
-class TestSchedulerGrouping:
+class TestDispatcherRestart:
+    """Bounded dispatcher recovery: a dead dispatch thread restarts (up
+    to ``max_restarts``) instead of degrading the server forever."""
+
+    def test_restart_recovers_dispatcher_and_clears_degraded(self):
+        server = paused_server(max_restarts=2, restart_backoff_s=0.0)
+        real = server._scheduler._run_batch
+        state = {"n": 0}
+
+        def flaky(groups):
+            state["n"] += 1
+            if state["n"] == 1:
+                raise RuntimeError("transient dispatch failure")
+            real(groups)
+
+        server._scheduler._run_batch = flaky
+        A = random_csr(30, 30, 0.12, seed=6)
+        f1 = server.submit(A)  # queued; the first drained batch dies
+        server.start()
+        try:
+            server._scheduler._thread.join(timeout=10)
+            assert server.degraded
+            assert f1.result(timeout=10) is not None  # drained in-process
+            # The next submission restarts the dispatcher and rides it.
+            C = server.multiply(A, timeout=10)
+        finally:
+            server.close()
+        assert not server.degraded  # restart cleared the flag
+        stats = server.serving_stats()
+        assert stats["dispatcher_restarts"] == 1
+        assert stats["failed"] == 0
+        assert results_identical([C], [SpGEMMEngine().multiply(A)])
+
+    def test_restart_budget_exhausts_to_permanent_fallback(self):
+        server = paused_server(max_restarts=1, restart_backoff_s=0.0)
+
+        def boom(groups):
+            raise RuntimeError("dispatch machinery died")
+
+        server._scheduler._run_batch = boom
+        A = random_csr(30, 30, 0.12, seed=6)
+        f1 = server.submit(A)
+        server.start()
+        try:
+            server._scheduler._thread.join(timeout=10)
+            assert server.degraded
+            # Restart #1: granted; the fresh dispatcher dies again and
+            # drains the request through the fallback path.
+            f2 = server.submit(A)
+            assert f2.result(timeout=10) is not None
+            server._scheduler._thread.join(timeout=10)
+            # Budget spent: this one runs synchronously on our thread.
+            C = server.multiply(A, timeout=0)
+        finally:
+            server.close()
+        assert server.degraded
+        stats = server.serving_stats()
+        assert stats["dispatcher_restarts"] == 1
+        # Only the budget-exhausted submission degrades synchronously;
+        # drain-path requests are not counted as fallbacks.
+        assert stats["fallbacks"] == 1
+        assert stats["failed"] == 0
+        assert f1.result(timeout=0) is not None
+        assert results_identical([C], [SpGEMMEngine().multiply(A)])
+
+    def test_scheduler_restart_semantics(self):
+        # Direct scheduler-level contract: restart only from dead (not
+        # fresh, not closing), bounded by max_restarts, and a restarted
+        # scheduler still honours close(drain=True).
+        ran: list = []
+        cfg = ServeConfig(window_s=0.0, autostart=False, max_restarts=1)
+        state = {"boom": True}
+
+        def run_batch(groups):
+            if state["boom"]:
+                raise RuntimeError("die once")
+            ran.extend(r for g in groups for r in g)
+
+        sched = BatchScheduler(run_batch, lambda r: r.future.set_result(None), cfg)
+        assert not sched.restart()  # not dead: nothing to restart
+        A = random_csr(10, 10, 0.3, seed=1)
+        req = ServeRequest(A=A, B=None, workload="a2", client="c", group_key=("k",))
+        assert sched.submit(req)
+        sched.start()
+        sched._thread.join(timeout=10)
+        assert sched.dead and req.future.result(timeout=1) is None  # drained
+        state["boom"] = False
+        assert sched.restart() and not sched.dead and sched.restarts == 1
+        req2 = ServeRequest(A=A, B=None, workload="a2", client="c", group_key=("k",))
+        assert sched.submit(req2)  # accepted by the restarted dispatcher
+        sched.close(drain=True)  # drains the queue before stopping
+        assert req2 in ran
+        assert not sched.restart()  # closing/closed: never restart
+
     def request(self, key: tuple) -> ServeRequest:
         A = random_csr(5, 5, 0.5, seed=8)
         return ServeRequest(A=A, B=None, workload="a2", client="c", group_key=key)

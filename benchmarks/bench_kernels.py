@@ -1,0 +1,137 @@
+"""Kernel bench — the hybrid row-binned kernel vs the single-strategy
+kernels on a skewed-row suite (DESIGN.md §15).
+
+The hybrid kernel's bet is that real operands mix row shapes: a
+power-law matrix has thousands of near-empty rows (batched-merge
+territory) and a few hub rows worth a dense scatter panel, and no
+single accumulator strategy is right for both.  This bench times each
+kernel's *execution* (preparation is the amortised one-off the engine
+ledgers separately) on generator-suite matrices with skewed row-work
+distributions, checks every product bitwise against the row-wise
+reference, and gates two numbers:
+
+* ``summary.hybrid_vs_best_single_geomean`` — geomean over the suite of
+  hybrid's speedup against the **best** single kernel per matrix
+  (row-wise or cluster-wise, whichever won there); the ISSUE 10
+  acceptance bar is >= 1.15.
+* ``summary.bitwise_mismatches`` — count of kernel executions whose
+  output was not bit-identical to ``spgemm_rowwise``; must be 0.
+
+Emits ``BENCH_kernels.json`` at the repository root, wrapped in the
+schema-versioned envelope of ``benchmarks/_common.py``.  All kernel
+executions dispatch through pipeline specs (RA001: benches never call
+kernel functions directly).
+
+Run directly (``python benchmarks/bench_kernels.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import time_execution
+from repro.matrices import generators as G
+from repro.pipeline import PipelineSpec
+
+from _common import gate_metric, save_bench_json
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: Skewed-row generator suite: power-law degree distributions (web,
+#: R-MAT, citation) plus one hub-and-spoke road network.  Sizes keep
+#: the pure-python reference paths affordable while leaving the heavy
+#: tail heavy enough that bin dispatch matters.
+MATRICES = {
+    "web1500": lambda: G.web_graph(1500, seed=0),
+    "web2500": lambda: G.web_graph(2500, seed=1),
+    "rmat10": lambda: G.rmat(10, edge_factor=8, seed=0),
+    "citation2000": lambda: G.citation_graph(2000, avg_out=8, seed=0),
+    "road2000": lambda: G.road_network(2000, shortcut_ratio=0.1, seed=0),
+}
+
+#: (kernel label, pipeline spec).  The cluster pipeline pays its
+#: clustering at build time — outside the timed region — mirroring how
+#: the engine amortises preparation.
+KERNELS = [
+    ("rowwise", "original+none+rowwise"),
+    ("cluster", "original+fixed:8+cluster"),
+    ("hybrid", "original+none+hybrid"),
+]
+
+REPS = 3
+
+
+def run_bench() -> dict:
+    results: dict = {"matrices": {}, "summary": {}}
+    ratios: list[float] = []
+    mismatches = 0
+    for mat_name, build_matrix in MATRICES.items():
+        A = build_matrix()
+        ref = PipelineSpec.parse("original+none+rowwise").run(A, A)
+        cell: dict = {}
+        for kernel_label, spec_text in KERNELS:
+            spec = PipelineSpec.parse(spec_text)
+            built = spec.build(A)
+            C = built.execute(A)
+            bitwise = (
+                bool(np.array_equal(C.indptr, ref.indptr))
+                and bool(np.array_equal(C.indices, ref.indices))
+                and bool(np.array_equal(C.values, ref.values))
+            )
+            if not bitwise:
+                mismatches += 1
+            seconds = time_execution(built, A, "reference", reps=REPS)
+            cell[kernel_label] = {"seconds": round(seconds, 6), "bitwise": bitwise}
+        best_single = min(cell["rowwise"]["seconds"], cell["cluster"]["seconds"])
+        ratio = best_single / cell["hybrid"]["seconds"]
+        cell["hybrid"]["speedup_vs_best_single"] = round(ratio, 3)
+        ratios.append(ratio)
+        results["matrices"][mat_name] = cell
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    results["summary"]["hybrid_vs_best_single_geomean"] = round(geomean, 3)
+    results["summary"]["bitwise_mismatches"] = mismatches
+    return results
+
+
+def save_bench() -> dict:
+    results = run_bench()
+    gates = [
+        gate_metric(
+            "summary.hybrid_vs_best_single_geomean",
+            results["summary"]["hybrid_vs_best_single_geomean"],
+            "higher",
+        ),
+        gate_metric("summary.bitwise_mismatches", results["summary"]["bitwise_mismatches"], "lower"),
+    ]
+    save_bench_json(
+        OUT_PATH,
+        "kernels",
+        results,
+        gate=gates,
+        config={"matrices": sorted(MATRICES), "kernels": [k for k, _ in KERNELS], "reps": REPS},
+    )
+    return results
+
+
+def test_kernel_bench_meets_acceptance_bar():
+    """ISSUE 10 acceptance: hybrid >= 1.15x geomean over the best single
+    kernel on the skewed suite, with zero bitwise mismatches (and the
+    JSON artefact is emitted)."""
+    results = save_bench()
+    assert results["summary"]["bitwise_mismatches"] == 0
+    gm = results["summary"]["hybrid_vs_best_single_geomean"]
+    assert gm >= 1.15, f"hybrid geomean {gm:.3f}x vs best single kernel (< 1.15x bar)"
+    assert OUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    res = save_bench()
+    print(f"wrote {OUT_PATH.name}")
+    for mat, cell in res["matrices"].items():
+        line = "  ".join(f"{k}={v['seconds']:.4f}s" for k, v in cell.items())
+        print(f"  {mat:>14}: {line}  (hybrid {cell['hybrid']['speedup_vs_best_single']}x)")
+    print(f"  geomean hybrid vs best single: {res['summary']['hybrid_vs_best_single_geomean']}x")
+    print(f"  bitwise mismatches: {res['summary']['bitwise_mismatches']}")

@@ -20,6 +20,10 @@ RA007  no blocking ``time.sleep`` on the serving request path: waits
 RA008  shm confinement: ``SharedMemory`` is constructed/attached only
        inside ``repro/backends/operand_store.py`` — everything else
        handles descriptors through the store API
+RA009  accumulator confinement: ``HashAccumulator``/``DenseAccumulator``
+       are constructed only through ``make_accumulator`` (owners:
+       ``repro/core/accumulators.py``, ``repro/core/hybrid_spgemm.py``)
+       so capacity-hint sizing has one auditable site
 =====  ===============================================================
 
 Path scoping matches *consecutive path components* (``repro/engine``),
@@ -51,7 +55,9 @@ KERNEL_FUNCTIONS = frozenset(
         "spgemm_rowwise",
         "cluster_spgemm",
         "tiled_spgemm",
+        "hybrid_spgemm",
         "vectorized_cluster_spgemm",
+        "vectorized_rowwise_spgemm",
         "threaded_spgemm_rowwise",
     }
 )
@@ -593,7 +599,50 @@ class SharedMemoryConfinementRule(Rule):
 
 
 # ----------------------------------------------------------------------
-ALL_RULES = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007", "RA008")
+# RA009 — accumulator confinement
+# ----------------------------------------------------------------------
+class AccumulatorConfinementRule(Rule):
+    id = "RA009"
+    title = "accumulators are constructed only through make_accumulator"
+
+    #: The modules allowed to construct accumulator classes directly:
+    #: the factory itself and the hybrid kernel's per-bin dispatch (its
+    #: numeric phases *are* the accumulator strategies).  Only *calls*
+    #: are flagged — re-exports (``repro.core.__init__``) stay legal.
+    _OWNERS = (
+        ("repro", "core", "accumulators.py"),
+        ("repro", "core", "hybrid_spgemm.py"),
+    )
+    _CLASSES = frozenset({"DenseAccumulator", "HashAccumulator"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (
+            ctx.is_python
+            and _in_repro(ctx)
+            and not any(path_has_parts(ctx, *p) for p in self._OWNERS)
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            terminal = name.rsplit(".", 1)[-1]
+            if terminal in self._CLASSES:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"direct {terminal}(...) construction; go through "
+                    "repro.core.make_accumulator so capacity-hint sizing "
+                    "(the symbolic upper bound) has one auditable site",
+                )
+
+
+# ----------------------------------------------------------------------
+ALL_RULES = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007", "RA008", "RA009")
 
 
 def default_rules(repo_root: Path, only: Iterable[str] | None = None) -> list[Rule]:
@@ -608,6 +657,7 @@ def default_rules(repo_root: Path, only: Iterable[str] | None = None) -> list[Ru
         RegistryBypassRule(universe),
         HotPathSleepRule(),
         SharedMemoryConfinementRule(),
+        AccumulatorConfinementRule(),
     ]
     if only is not None:
         wanted = {r.strip().upper() for r in only}

@@ -19,8 +19,12 @@ bit-identical to the reference cluster kernel, and this backend declares
 separately from the padding mask (``np.logical_or.at``), so padded slots
 never create output entries — same as the reference.
 
-Only the ``cluster`` kernel is supported: this backend *is* a faster
-numeric phase for the ``CSR_Cluster`` dataflow, not a general executor.
+The ``rowwise`` kernel is served by the blocked dense-scatter numeric
+phase of :mod:`repro.core.hybrid_spgemm` (one ordered ``np.add.at`` per
+row panel — the same sequential-application argument as above), and the
+``hybrid`` kernel is executed directly: its bin executors are already
+the batched numpy phases this backend exists for.  All three paths are
+bitwise-identical to the reference.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ import numpy as np
 
 from .base import ExecutionBackend, ExecutionContext
 
-__all__ = ["VectorizedBackend", "vectorized_cluster_spgemm"]
+__all__ = ["VectorizedBackend", "vectorized_cluster_spgemm", "vectorized_rowwise_spgemm"]
 
 
 def vectorized_cluster_spgemm(Ac, B, *, restore_order: bool = False):
@@ -95,14 +99,33 @@ def vectorized_cluster_spgemm(Ac, B, *, restore_order: bool = False):
     return C
 
 
+#: All rows in the catch-all scatter bin: the blocked ``np.add.at``
+#: dense panel *is* the whole numeric phase.
+_SCATTER_ONLY = ((-1, "scatter"),)
+
+
+def vectorized_rowwise_spgemm(A, B):
+    """Batch-vectorised row-wise ``A @ B`` — the PR 3 tail.
+
+    Runs the hybrid kernel's blocked dense-scatter executor over every
+    row: one ordered ``np.add.at`` scatter-accumulate per row panel
+    instead of the reference kernel's per-row python loop.  Bitwise-
+    identical to :func:`~repro.core.spgemm.spgemm_rowwise` (sequential
+    unbuffered application in stream order; columns emitted ascending).
+    """
+    from ..core.hybrid_spgemm import hybrid_spgemm
+
+    return hybrid_spgemm(A, B, bin_map=_SCATTER_ONLY)
+
+
 class VectorizedBackend(ExecutionBackend):
-    """numpy batch-cluster numeric phase over ``CSR_Cluster`` blocks."""
+    """numpy batch-vectorised numeric phases (cluster / rowwise / hybrid)."""
 
     name: ClassVar[str] = "vectorized"
     parallelism: ClassVar[str] = "serial"
     planner_rank: ClassVar[int | None] = 20
     model_speed_factor: ClassVar[float] = 0.7
-    description: ClassVar[str] = "numpy-batched cluster numeric phase (bitwise, cluster kernel only)"
+    description: ClassVar[str] = "numpy-batched numeric phases (bitwise; cluster/rowwise/hybrid)"
 
     @property
     def bitwise_reference(self) -> bool:
@@ -110,7 +133,7 @@ class VectorizedBackend(ExecutionBackend):
 
     @property
     def supported_kernels(self) -> tuple[str, ...] | None:
-        return ("cluster",)
+        return ("cluster", "rowwise", "hybrid")
 
     def execute(
         self,
@@ -121,11 +144,24 @@ class VectorizedBackend(ExecutionBackend):
         kernel_params: dict[str, Any],
         ctx: ExecutionContext,
     ) -> Any:
-        if kernel != "cluster":
-            raise ValueError(f"vectorized backend supports only the 'cluster' kernel, got {kernel!r}")
-        if operand.Ac is None:
-            raise ValueError("vectorized backend needs a clustered operand (operand.Ac is None)")
         ctx.bump("vectorized_calls")
-        # restore_order=True returns the operand's row order, matching
-        # the reference cluster kernel's contract.
-        return vectorized_cluster_spgemm(operand.Ac, B, restore_order=True)
+        if kernel == "cluster":
+            if operand.Ac is None:
+                raise ValueError(
+                    "vectorized backend needs a clustered operand (operand.Ac is None)"
+                )
+            # restore_order=True returns the operand's row order, matching
+            # the reference cluster kernel's contract.
+            return vectorized_cluster_spgemm(operand.Ac, B, restore_order=True)
+        if kernel == "rowwise":
+            # The accumulator parameter is irrelevant here: every
+            # accumulator is bitwise-identical and the scatter panel IS
+            # the dense one.
+            return vectorized_rowwise_spgemm(operand.Ar, B)
+        if kernel == "hybrid":
+            from ..core.hybrid_spgemm import hybrid_spgemm
+
+            return hybrid_spgemm(operand.Ar, B, **kernel_params)
+        raise ValueError(
+            f"vectorized backend supports {self.supported_kernels}, got kernel {kernel!r}"
+        )

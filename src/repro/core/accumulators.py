@@ -168,8 +168,9 @@ class HashAccumulator:
         self._count = 0
 
 
-def make_accumulator(kind: str, ncols: int, capacity_hint: int = 16):
-    """Factory used by the SpGEMM kernels.
+def make_accumulator(kind: str, ncols: int, capacity_hint: int | None = None):
+    """Factory used by the SpGEMM kernels — the one accumulator
+    construction site (static rule RA009).
 
     Parameters
     ----------
@@ -178,10 +179,13 @@ def make_accumulator(kind: str, ncols: int, capacity_hint: int = 16):
     ncols:
         Number of columns of the output (dense SPA size).
     capacity_hint:
-        Expected per-row output nonzeros (hash SPA sizing).
+        Upper bound on the row's output nonzeros (hash SPA sizing).
+        Callers pass the symbolic per-row bound ``min(row_flops,
+        ncols)`` so the table never rehashes mid-row, exactly as [40]
+        sizes it; ``None`` falls back to ``ncols`` (always sufficient).
     """
     if kind == "dense":
         return DenseAccumulator(ncols)
     if kind == "hash":
-        return HashAccumulator(capacity_hint)
+        return HashAccumulator(ncols if capacity_hint is None else capacity_hint)
     raise ValueError(f"unknown accumulator kind: {kind!r} (expected 'dense' or 'hash')")

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .accumulators import DenseAccumulator, HashAccumulator
+from .accumulators import make_accumulator
 from .csr import CSRMatrix, _concat_ranges
 
 __all__ = ["SpGEMMStats", "spgemm_rowwise", "spgemm_symbolic", "flops_rowwise"]
@@ -130,7 +130,7 @@ def spgemm_rowwise(
         idx_parts: list[np.ndarray] = []
         val_parts: list[np.ndarray] = []
 
-    dense_acc = DenseAccumulator(m) if accumulator == "dense" else None
+    dense_acc = make_accumulator("dense", m) if accumulator == "dense" else None
     if accumulator not in ("sort", "dense", "hash"):
         raise ValueError(f"unknown accumulator {accumulator!r}")
 
@@ -154,7 +154,9 @@ def spgemm_rowwise(
                 cols, vals = dense_acc.extract()
                 dense_acc.reset()
             else:  # hash
-                acc = HashAccumulator(max(4, int(gcols.size)))
+                # Sized from the row's symbolic upper bound, so the
+                # table never grows mid-row.
+                acc = make_accumulator("hash", m, capacity_hint=min(int(gcols.size), m))
                 acc.accumulate(gcols, gvals)
                 cols, vals = acc.extract()
                 stats.hash_probes += acc.probes

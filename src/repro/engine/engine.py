@@ -267,6 +267,12 @@ class SpGEMMEngine:
         for every multiply instead of searching — the declarative
         entry point.  Individual calls can also override the planner
         per-multiply via ``multiply(..., pipeline=...)``.
+    kernels:
+        Pins the planners' kernel axis to a subset of the planned
+        kernels (e.g. ``("rowwise", "cluster")`` to exclude
+        ``hybrid``); ``None`` (default) searches the full
+        registry-enumerated kernel space.  Mirrors the planners'
+        ``reorderings`` pin and is recorded in the plan-cache token.
     backend:
         Execution-backend policy (:mod:`repro.backends`).  ``None``
         (default) keeps the engine on the ``reference`` backend — the
@@ -334,6 +340,7 @@ class SpGEMMEngine:
         seed: int = 0,
         operand_cache_size: int = 8,
         pipeline: "PipelineSpec | str | None" = None,
+        kernels: "tuple[str, ...] | None" = None,
         backend: str | None = None,
         calibration: "CalibrationTable | BackendCalibrator | bool | None" = None,
         drift_threshold: float | None = None,
@@ -362,6 +369,7 @@ class SpGEMMEngine:
             cfg=self.cfg,
             machine=self.machine,
             seed=self.seed,
+            kernels=kernels,
             backend=backend,
             calibration=self.calibration,
             tracer=self.tracer,
@@ -507,6 +515,7 @@ class SpGEMMEngine:
                 cfg=self.cfg,
                 machine=self.machine,
                 seed=self.seed,
+                kernels=self.planner.kernels,
                 backend=backend,
                 calibration=self.calibration,
                 tracer=self.tracer,
@@ -760,11 +769,14 @@ class SpGEMMEngine:
         ]
         if any(p.name == "accumulator" for p in k_info.params):
             given.append(("accumulator", plan.accumulator))
+        kernel_params = k_info.resolve_params(given, self.cfg)
+        if plan.bin_map and getattr(k_info.factory, "accepts_bin_map", False):
+            kernel_params["bin_map"] = plan.bin_map
         C = backend_execute(
             prep,
             Bx,
             kernel=plan.kernel,
-            kernel_params=k_info.resolve_params(given, self.cfg),
+            kernel_params=kernel_params,
             backend=plan.backend,
             backend_params=plan.backend_params,
             cfg=self.cfg,
@@ -793,12 +805,13 @@ class SpGEMMEngine:
         nothing changed, executed equals ``plan.predicted_cost`` exactly
         and drift detection stays silent by construction.
         """
-        if get_component("kernel", plan.kernel).requires_clustering:
+        k_info = get_component("kernel", plan.kernel)
+        if k_info.requires_clustering:
             t = self.machine.run_clusterwise(prep.Ac, Bx).time
         else:
             t = self.machine.run_rowwise(prep.Ar, Bx).time
         factor = self.planner._backend_factor(plan.backend, kernel=plan.kernel, A=prep.Ar)
-        return t * factor
+        return t * k_info.model_speed_factor * factor
 
     def _observe_drift(
         self, A: CSRMatrix, Bx: CSRMatrix, plan: ExecutionPlan, prep: PreparedOperand,

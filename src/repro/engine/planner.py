@@ -77,6 +77,7 @@ __all__ = [
     "make_planner",
     "default_candidates",
     "planner_reorderings",
+    "planner_kernels",
     "planner_backends",
     "replace_candidate",
     "prepare_candidate",
@@ -119,6 +120,28 @@ class Candidate:
         return f"{self.reordering}+{self.clustering or 'csr'}/{self.kernel}{suffix}"
 
 
+def planner_kernels() -> tuple[str, ...]:
+    """Non-clustering kernels in the planners' default space, by
+    registry query.
+
+    Every kernel registered with a ``planner_rank`` that does not
+    require a clustering pairs with each reordering (rank order;
+    ``rowwise`` ranks first, so exact cost ties keep the historical
+    choice).  Cluster-requiring planned kernels enter the space through
+    the clustering axis instead.
+    """
+    return tuple(
+        c.name for c in components("kernel", planned=True) if not c.requires_clustering
+    )
+
+
+def _cluster_kernels() -> tuple[str, ...]:
+    """Planned kernels that consume a ``CSR_Cluster`` operand."""
+    return tuple(
+        c.name for c in components("kernel", planned=True) if c.requires_clustering
+    )
+
+
 def planner_backends() -> tuple[str, ...]:
     """Backends the planners may consider, by registry query.
 
@@ -135,6 +158,7 @@ def default_candidates(
     *,
     square: bool,
     reorderings: tuple[str, ...] | None = None,
+    kernels: tuple[str, ...] | None = None,
     backends: tuple[str, ...] | None = None,
 ) -> list[Candidate]:
     """The candidate space planners search, enumerated from the registry.
@@ -145,22 +169,35 @@ def default_candidates(
     (hierarchical, paper §3.4) are paired only with the natural order —
     their cluster formation *is* a reordering.
 
-    ``backends`` extends the space along the execution-backend axis:
-    each base candidate is additionally emitted per listed non-reference
-    backend that supports its kernel.  ``None`` (the default) keeps the
+    ``kernels`` pins the kernel axis to a subset of the planned kernels
+    (``None`` keeps the full registry-enumerated space); ``backends``
+    extends the space along the execution-backend axis: each base
+    candidate is additionally emitted per listed non-reference backend
+    that supports its kernel.  ``None`` (the default) keeps the
     historical reference-only space, preserving the engine's bitwise
     contract unless the caller opts in.
     """
     if reorderings is None:
         reorderings = planner_reorderings()
     clusterings = components("clustering")
-    cands = [Candidate("original", None, "rowwise")]
-    cands += [Candidate("original", c.name, "cluster") for c in clusterings]
+    row_kernels = planner_kernels()
+    cluster_kernels = _cluster_kernels()
+    if kernels is not None:
+        row_kernels = tuple(k for k in row_kernels if k in kernels)
+        cluster_kernels = tuple(k for k in cluster_kernels if k in kernels)
+    kernels = row_kernels
+    cands = [Candidate("original", None, k) for k in kernels]
+    cands += [
+        Candidate("original", c.name, ck) for c in clusterings for ck in cluster_kernels
+    ]
     if square:
         for r in reorderings:
-            cands.append(Candidate(r, None, "rowwise"))
+            cands.extend(Candidate(r, None, k) for k in kernels)
             cands.extend(
-                Candidate(r, c.name, "cluster") for c in clusterings if not c.embeds_reordering
+                Candidate(r, c.name, ck)
+                for c in clusterings
+                if not c.embeds_reordering
+                for ck in cluster_kernels
             )
     if backends:
         from ..backends import backend_supports
@@ -325,7 +362,8 @@ def _estimate_candidate_costs(
     out: list[float] = []
     for cand in candidates:
         loc = locality_after(cand.reordering)
-        if cand.kernel == "rowwise":
+        k_info = get_component("kernel", cand.kernel)
+        if not k_info.requires_clustering:
             t = (
                 cost.alpha_rowwise * fl
                 + cost.beta_miss_byte * miss_bytes(loc)
@@ -351,6 +389,9 @@ def _estimate_candidate_costs(
                 + cost.stream_byte * (padded * 8 + nnz_a * 4)
                 + cost.gamma_brow * visits
             )
+        # Kernel implementation hint: same dataflow, faster numeric
+        # phase (hybrid's per-bin dispatch); 1.0 for rowwise/cluster.
+        t *= k_info.model_speed_factor
         # Backend axis: same dataflow, faster implementation.  The
         # factor is the static registry hint unless the caller supplies
         # a (calibrated) resolver; 1.0 for reference either way.
@@ -382,6 +423,7 @@ class Planner:
         machine: SimulatedMachine | None = None,
         seed: int = 0,
         reorderings: tuple[str, ...] | None = None,
+        kernels: tuple[str, ...] | None = None,
         backend: "str | tuple | None" = None,
         calibration=None,
         tracer=None,
@@ -393,6 +435,9 @@ class Planner:
         self.machine = machine or machine_for(self.cfg)
         self.seed = int(seed)
         self.reorderings = planner_reorderings() if reorderings is None else tuple(reorderings)
+        #: ``None`` → full registry-enumerated kernel space; a tuple
+        #: pins the planner to that subset (mirrors ``reorderings``).
+        self.kernels = None if kernels is None else tuple(kernels)
         #: Observability hook (DESIGN.md §12): an enabled tracer wraps
         #: :meth:`plan` in a ``planner.plan`` span and every candidate
         #: measurement in a ``planner.trial`` span.
@@ -442,7 +487,11 @@ class Planner:
         served to each other — and uncalibrated tokens stay
         byte-identical to what earlier releases persisted.
         """
-        return f"{self.name}:{','.join(self.reorderings)}:b={self.backend_token}" + self._calibration_suffix
+        kernel_token = "" if self.kernels is None else ":k=" + ",".join(self.kernels)
+        return (
+            f"{self.name}:{','.join(self.reorderings)}{kernel_token}:b={self.backend_token}"
+            + self._calibration_suffix
+        )
 
     @property
     def _calibration_suffix(self) -> str:
@@ -465,9 +514,12 @@ class Planner:
         square = A.nrows == A.ncols
         if self._backend_mode == "auto":
             return default_candidates(
-                square=square, reorderings=self.reorderings, backends=planner_backends()
+                square=square,
+                reorderings=self.reorderings,
+                kernels=self.kernels,
+                backends=planner_backends(),
             )
-        cands = default_candidates(square=square, reorderings=self.reorderings)
+        cands = default_candidates(square=square, reorderings=self.reorderings, kernels=self.kernels)
         name, params = self._pinned
         if name == "reference":
             return cands
@@ -544,7 +596,7 @@ class Planner:
             return self._measure_impl(A, B, cand)
 
     def _measure_impl(self, A: CSRMatrix, B: CSRMatrix, cand: Candidate) -> tuple[float, PreparedOperand]:
-        cluster_operand = get_component("kernel", cand.kernel).requires_clustering
+        k_info = get_component("kernel", cand.kernel)
         prep = prepare_candidate(
             A,
             cand.reordering,
@@ -552,14 +604,19 @@ class Planner:
             self.cfg,
             self.machine.cost,
             seed=self.seed,
-            cluster_operand=cluster_operand,
+            cluster_operand=k_info.requires_clustering,
         )
-        if cluster_operand:
+        if k_info.requires_clustering:
             res = self.machine.run_clusterwise(prep.Ac, B)
         else:
             res = self.machine.run_rowwise(prep.Ar, B)
+        # The kernel's model_speed_factor mirrors the backend one: same
+        # simulated dataflow, faster numeric phase.  The engine's drift
+        # probe applies the identical factors, so an unchanged workload
+        # measures exactly predicted_cost.
         return (
             res.time
+            * k_info.model_speed_factor
             * self._backend_factor(cand.backend, kernel=cand.kernel, A=A, params=cand.backend_params),
             prep,
         )
@@ -617,12 +674,16 @@ class Planner:
         baseline: float,
         planning: float,
     ) -> ExecutionPlan:
+        # Kernels with a binned dispatch record their ladder so cached
+        # plans replay the exact same per-bin execution.
+        k_info = get_component("kernel", cand.kernel)
         return ExecutionPlan(
             reordering=cand.reordering,
             clustering=cand.clustering,
             kernel=cand.kernel,
             backend=cand.backend,
             backend_params=cand.backend_params,
+            bin_map=getattr(k_info.factory, "default_bin_map", ()),
             policy=self.name,
             workload=workload,
             fingerprint_key=fp.key,
@@ -894,7 +955,7 @@ class PipelinePlanner(Planner):
         cand = Candidate(
             spec.reordering, spec.clustering, spec.kernel, spec.backend, spec.backend_params
         )
-        factor = self._backend_factor(
+        factor = spec.kernel_info.model_speed_factor * self._backend_factor(
             spec.backend, kernel=spec.kernel, A=A, params=spec.backend_params
         )
         return cand, res.time * factor, prep, 0.0

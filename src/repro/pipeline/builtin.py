@@ -13,8 +13,9 @@ registries to the unified one.
   from :data:`PARAM_EXTRAS`.
 * **Kernels** are :class:`~repro.pipeline.registry.KernelBackend`
   wrappers over :func:`~repro.core.spgemm.spgemm_rowwise`,
-  :func:`~repro.core.cluster_spgemm.cluster_spgemm` and
-  :func:`~repro.core.tiled_spgemm.tiled_spgemm`.  Each returns the
+  :func:`~repro.core.cluster_spgemm.cluster_spgemm`,
+  :func:`~repro.core.tiled_spgemm.tiled_spgemm` and
+  :func:`~repro.core.hybrid_spgemm.hybrid_spgemm`.  Each returns the
   product in the *operand's* row order and preserves per-row summation
   order, so any pipeline stays bitwise-identical to the row-wise
   reference after the final inverse gather.
@@ -50,7 +51,11 @@ PARAM_EXTRAS: dict[str, dict[str, Any]] = {
     "accumulator": {"aliases": ("acc",), "config_attr": None},
 }
 
-_SKIP_PARAMS = {"seed"}  # threaded separately (plan determinism), not spec-addressable
+# Threaded separately by their owning layers, not spec-addressable:
+# ``seed`` for plan determinism, ``bin_map`` via ExecutionPlan.bin_map
+# (structured, not a scalar), ``stats`` injected by the reference
+# backend when tracing.
+_SKIP_PARAMS = {"seed", "bin_map", "stats"}
 
 
 def _introspect_params(fn: Callable[..., Any]) -> tuple[ParamSpec, ...]:
@@ -108,6 +113,24 @@ def tiled_kernel(operand, B, *, tile_cols: int = 256):
     from ..core.tiled_spgemm import tiled_spgemm
 
     return tiled_spgemm(operand.Ar, B, tile_cols=tile_cols)  # repro: allow[RA001] registry kernel wrapper: this IS the callable backends.execute dispatches
+
+
+def hybrid_kernel(operand, B, *, bin_map=None, stats=None):
+    """Row-binned hybrid SpGEMM: per-bin accumulator dispatch (DESIGN.md §15)."""
+    from ..core.hybrid_spgemm import hybrid_spgemm
+
+    return hybrid_spgemm(operand.Ar, B, bin_map=bin_map, stats=stats)  # repro: allow[RA001] registry kernel wrapper: this IS the callable backends.execute dispatches
+
+
+# Capability markers read by the plan/engine/backends layers: the plan
+# records and replays a ``bin_map`` for kernels that accept one, and the
+# reference backend collects per-bin counters when tracing is on.
+from ..core.hybrid_spgemm import DEFAULT_BIN_MAP as _HYBRID_DEFAULT_BIN_MAP
+from ..core.hybrid_spgemm import HybridStats as _HybridStats
+
+hybrid_kernel.accepts_bin_map = True
+hybrid_kernel.default_bin_map = _HYBRID_DEFAULT_BIN_MAP
+hybrid_kernel.make_stats = _HybridStats
 
 
 # ----------------------------------------------------------------------
@@ -182,12 +205,18 @@ def register_builtin() -> None:
     import repro.clustering  # noqa: F401
     import repro.reordering  # noqa: F401
 
+    # ``planner_rank`` puts a kernel in the planners' default candidate
+    # space (rank order; ``rowwise`` first, so exact cost ties keep the
+    # historical choice); ``model_speed_factor`` is the same ranking
+    # hint backends carry — hybrid's binned numeric phase runs the same
+    # dataflow faster than the uniform row-wise loop.
     register_component(
         ComponentInfo(
             name="rowwise",
             kind="kernel",
             factory=rowwise_kernel,
             params=_introspect_params(rowwise_kernel),
+            planner_rank=0,
             description="row-wise Gustavson SpGEMM (two-phase; the bitwise reference)",
         )
     )
@@ -198,6 +227,7 @@ def register_builtin() -> None:
             factory=cluster_kernel,
             params=_introspect_params(cluster_kernel),
             requires_clustering=True,
+            planner_rank=1,
             description="cluster-wise SpGEMM over CSR_Cluster fibers (paper Alg. 1)",
         )
     )
@@ -208,6 +238,17 @@ def register_builtin() -> None:
             factory=tiled_kernel,
             params=_introspect_params(tiled_kernel),
             description="column-tiled SpGEMM (paper §5 alternative dataflow)",
+        )
+    )
+    register_component(
+        ComponentInfo(
+            name="hybrid",
+            kind="kernel",
+            factory=hybrid_kernel,
+            params=_introspect_params(hybrid_kernel),
+            planner_rank=2,
+            model_speed_factor=0.85,
+            description="row-binned hybrid SpGEMM: per-bin accumulator dispatch (DESIGN.md §15)",
         )
     )
     # Execution backends register after the kernels they support.

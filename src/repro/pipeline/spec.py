@@ -432,6 +432,11 @@ class PipelineSpec:
                 params.append((name, float(value) if isinstance(value, (int, float)) else value))
         for name, value in self.reordering_params:
             params.append((name, float(value) if isinstance(value, (int, float)) else value))
+        # Kernels with a binned dispatch (hybrid) record their ladder so
+        # the plan replays the exact same per-bin execution.
+        default_bin_map = getattr(self.kernel_info.factory, "default_bin_map", None)
+        if default_bin_map is not None:
+            overrides.setdefault("bin_map", default_bin_map)
         return ExecutionPlan(
             reordering=self.reordering,
             clustering=self.clustering,

@@ -1,0 +1,11 @@
+"""RA009 owner exemption: this path *is* the factory module, so direct
+accumulator construction here is the sanctioned single owner."""
+
+
+class DenseAccumulator:  # minimal stand-in mirroring the real module
+    def __init__(self, ncols):
+        self.ncols = ncols
+
+
+def make_accumulator(kind, ncols, capacity_hint=None):
+    return DenseAccumulator(ncols)

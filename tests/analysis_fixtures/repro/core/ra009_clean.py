@@ -1,0 +1,8 @@
+"""RA009 clean: accumulators come from the factory (re-exports stay legal)."""
+
+from repro.core import HashAccumulator  # noqa: F401  (import alone is fine)
+from repro.core.accumulators import make_accumulator
+
+
+def hash_row(ncols, bound):
+    return make_accumulator("hash", ncols, capacity_hint=bound)

@@ -1,0 +1,14 @@
+"""RA009 violations: accumulator classes constructed outside the factory."""
+
+from repro.core import HashAccumulator
+from repro.core.accumulators import DenseAccumulator
+
+
+def hash_row(ncols):
+    return HashAccumulator(ncols)
+
+
+def dense_row(ncols):
+    import repro.core.accumulators as acc_mod
+
+    return acc_mod.DenseAccumulator(ncols)

@@ -100,3 +100,23 @@ def test_factory():
     assert isinstance(make_accumulator("hash", 10, 4), HashAccumulator)
     with pytest.raises(ValueError, match="unknown accumulator"):
         make_accumulator("tree", 10)
+
+
+def test_factory_hash_sizes_from_capacity_hint():
+    # No hint: sized from ncols (always sufficient, never grows).
+    assert make_accumulator("hash", 1000).capacity >= 2000
+    # A symbolic upper bound shrinks the table accordingly.
+    small = make_accumulator("hash", 1000, capacity_hint=4)
+    assert small.capacity < 32
+
+
+def test_factory_hash_never_grows_within_hint():
+    # Inserting up to the hinted bound must not trigger a mid-row rehash
+    # (the table is born with >= 2x the hint's slots).
+    acc = make_accumulator("hash", 10_000, capacity_hint=100)
+    born_capacity = acc.capacity
+    for col in range(100):
+        acc.insert(col, 1.0)
+    assert acc.capacity == born_capacity
+    cols, vals = acc.extract()
+    assert cols.tolist() == list(range(100))

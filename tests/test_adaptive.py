@@ -341,7 +341,13 @@ def test_end_to_end_drift_triggers_replan_and_plan_switch(gainful_matrix):
     with the re-plan event recorded in EngineStats — and every result
     stays bitwise-identical to the row-wise oracle throughout."""
     A = gainful_matrix
-    eng = SpGEMMEngine(policy="autotune", config=SMALL_CFG, drift_threshold=1.5)
+    # Pin the historical kernel space: the scenario needs the clustered
+    # plan to win so the value perturbation can degrade its profile
+    # (the hybrid kernel's cost is pattern-only and would never drift).
+    eng = SpGEMMEngine(
+        policy="autotune", config=SMALL_CFG, drift_threshold=1.5,
+        kernels=("rowwise", "cluster"),
+    )
     B0 = perturb_values(A, scale=0.0, seed=0)  # value-twin, same profile
     assert_bitwise_equal(eng.multiply(A, B0), spgemm_rowwise(A, B0))
     plan_before = eng.plan_for(A, B0)

@@ -246,6 +246,19 @@ class TestRuleFixtures:
         # repro/backends/operand_store.py is the one sanctioned owner.
         assert _active("repro/backends/operand_store.py", "RA008") == []
 
+    def test_ra009_direct_construction(self):
+        found = _active("repro/core/ra009_direct_construction.py", "RA009")
+        # Both call forms fire (bare name + attribute); imports do not.
+        assert sorted(f.line for f in found) == [8, 14]
+        assert all("make_accumulator" in f.message for f in found)
+
+    def test_ra009_clean(self):
+        assert _active("repro/core/ra009_clean.py", "RA009") == []
+
+    def test_ra009_owner_module_is_exempt(self):
+        # The factory module constructs the classes it dispenses.
+        assert _active("repro/core/accumulators.py", "RA009") == []
+
 
 class TestSuppressions:
     def test_round_trip(self):

@@ -37,7 +37,7 @@ def test_backend_axis_enumerates_every_compatible_pair():
     by_backend = {}
     for s in ALL_PAIRS:
         by_backend.setdefault(s.backend, set()).add(s.kernel)
-    assert by_backend["vectorized"] == {"cluster"}
+    assert by_backend["vectorized"] == {"cluster", "rowwise", "hybrid"}
     assert by_backend["sharded"] == by_backend["reference"]
 
 

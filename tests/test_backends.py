@@ -35,7 +35,7 @@ def test_builtin_backends_registered_with_capabilities():
     ref = get_component("backend", "reference")
     assert ref.bitwise_reference and ref.supported_kernels is None
     vec = get_component("backend", "vectorized")
-    assert vec.bitwise_reference and vec.supported_kernels == ("cluster",)
+    assert vec.bitwise_reference and vec.supported_kernels == ("cluster", "rowwise", "hybrid")
     sh = get_component("backend", "sharded")
     assert sh.parallelism == "process"
     assert sh.planner_rank is None  # composite: pinned explicitly, never searched
@@ -68,7 +68,8 @@ def test_parse_backend_and_supports():
     assert name == "sharded" and dict(params) == {"workers": 4, "inner": "vectorized"}
     # Instance-level compatibility: sharded answers from its inner.
     assert backend_supports("sharded", params, "cluster")
-    assert not backend_supports("sharded", params, "rowwise")
+    assert backend_supports("sharded", params, "rowwise")  # vectorized rowwise path
+    assert not backend_supports("sharded", params, "tiled")
     assert backend_supports("sharded", (), "rowwise")  # inner=reference
     assert not backend_supports("vectorized", (), "tiled")
 
@@ -131,7 +132,7 @@ def test_spec_backend_errors():
         PipelineSpec.parse("rcm+scipy")
     # Backend–kernel incompatibility is a construction error.
     with pytest.raises(ValueError, match="support"):
-        PipelineSpec.parse("rcm+rowwise@vectorized")
+        PipelineSpec.parse("rcm+tiled@vectorized")
     with pytest.raises(ValueError, match="support"):
         PipelineSpec(kernel="tiled", backend="sharded", backend_params=(("inner", "vectorized"),))
 
@@ -152,9 +153,9 @@ def test_spec_with_backend_and_label():
 # Dispatch: one path, correct results
 # ----------------------------------------------------------------------
 def test_execute_rejects_incompatible_kernel():
-    built = PipelineSpec.parse("original+none+rowwise").build(A)
+    built = PipelineSpec.parse("original+none+tiled").build(A)
     with pytest.raises(ValueError, match="support"):
-        execute(built, A, kernel="rowwise", backend="vectorized")
+        execute(built, A, kernel="tiled", backend="vectorized")
 
 
 def test_context_accumulates_stats_across_executions():
@@ -445,8 +446,10 @@ def test_engine_per_call_backend_override():
     plan = eng.plan_for(A, backend="sharded:workers=2,inner=vectorized")
     assert plan.backend == "sharded"
     assert dict(plan.backend_params) == {"workers": 2, "inner": "vectorized"}
-    # Pinning vectorized-inner sharding restricts the space to cluster kernels.
-    assert plan.kernel == "cluster"
+    # Pinning vectorized-inner sharding restricts the space to the
+    # kernels vectorized supports; the planner's model picks hybrid
+    # (rowwise dataflow at the hybrid speed factor, no cluster build).
+    assert plan.kernel in {"cluster", "rowwise", "hybrid"}
 
 
 def test_plan_cache_keys_include_backend():
@@ -563,5 +566,5 @@ def test_plan_rejects_unknown_or_incompatible_backend():
         ExecutionPlan(reordering="original", clustering=None, kernel="rowwise", backend="nope")
     with pytest.raises(ValueError, match="support"):
         ExecutionPlan(
-            reordering="original", clustering=None, kernel="rowwise", backend="vectorized"
+            reordering="original", clustering=None, kernel="tiled", backend="vectorized"
         )
